@@ -1,0 +1,274 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus micro-benchmarks of the performance-critical
+// components. Each macro-benchmark runs its experiment harness at
+// reduced scale per iteration and reports the experiment's headline
+// metric alongside time and allocations:
+//
+//	go test -bench=. -benchmem
+//
+// For paper-scale numbers use the CLI tools (cmd/sharing, cmd/traceeval,
+// cmd/timing) instead; EXPERIMENTS.md records those results.
+package destset_test
+
+import (
+	"bytes"
+	"testing"
+
+	"destset/internal/experiments"
+	"destset/internal/nodeset"
+	"destset/internal/predictor"
+	"destset/internal/protocol"
+	"destset/internal/trace"
+	"destset/internal/workload"
+)
+
+// benchOptions is the per-iteration experiment scale.
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Seed:            1,
+		WarmMisses:      20_000,
+		Misses:          20_000,
+		TimedWarmMisses: 8_000,
+		TimedMisses:     8_000,
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	opt := benchOptions()
+	var last []experiments.Characterization
+	for i := 0; i < b.N; i++ {
+		cs, err := experiments.Characterize(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = cs
+	}
+	for _, c := range last {
+		if c.Workload == "oltp" {
+			b.ReportMetric(c.DirIndirectPc, "oltp-dir-indirect-%")
+			b.ReportMetric(c.MPKI, "oltp-mpki")
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	opt := benchOptions()
+	opt.Workloads = []string{"apache", "oltp"}
+	var last []experiments.Characterization
+	for i := 0; i < b.N; i++ {
+		cs, err := experiments.Characterize(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = cs
+	}
+	b.ReportMetric(last[0].ReadsMustSee[1], "apache-reads-see1-%")
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	opt := benchOptions()
+	opt.Workloads = []string{"ocean", "specjbb"}
+	var last []experiments.Characterization
+	for i := 0; i < b.N; i++ {
+		cs, err := experiments.Characterize(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = cs
+	}
+	b.ReportMetric(last[0].BlocksTouchedBy[2], "ocean-pairwise-blocks-%")
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	opt := benchOptions()
+	opt.Workloads = []string{"specjbb"}
+	var last []experiments.Characterization
+	for i := 0; i < b.N; i++ {
+		cs, err := experiments.Characterize(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = cs
+	}
+	// Cumulative c2c coverage of the hottest 1000 blocks (paper: ~80%).
+	b.ReportMetric(last[0].C2CByHotBlocks[4], "jbb-hot1k-blocks-%")
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	opt := benchOptions()
+	var last []experiments.WorkloadTradeoff
+	for i := 0; i < b.N; i++ {
+		panels, err := experiments.Figure5(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = panels
+	}
+	for _, p := range last {
+		if p.Workload != "oltp" {
+			continue
+		}
+		for _, pt := range p.Points {
+			if pt.Config == "Multicast+Group[1024B,8192e]" {
+				b.ReportMetric(pt.IndirectionPct, "oltp-group-indirect-%")
+				b.ReportMetric(pt.MsgsPerMiss, "oltp-group-msgs/miss")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure6a(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6a(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6b(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6b(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6c(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6c(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	opt := benchOptions()
+	opt.Workloads = []string{"oltp"}
+	var last []experiments.WorkloadTiming
+	for i := 0; i < b.N; i++ {
+		panels, err := experiments.Figure7(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = panels
+	}
+	for _, pt := range last[0].Points {
+		if pt.Config == "snooping" {
+			b.ReportMetric(pt.NormRuntime, "oltp-snoop-norm-runtime")
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	opt := benchOptions()
+	opt.Workloads = []string{"oltp"}
+	var last []experiments.WorkloadTiming
+	for i := 0; i < b.N; i++ {
+		panels, err := experiments.Figure8(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = panels
+	}
+	for _, pt := range last[0].Points {
+		if pt.Config == "snooping" {
+			b.ReportMetric(pt.NormRuntime, "oltp-snoop-norm-runtime")
+		}
+	}
+}
+
+// --- component micro-benchmarks ---
+
+func BenchmarkPredictorPredict(b *testing.B) {
+	for _, pol := range []predictor.Policy{predictor.Owner, predictor.Group, predictor.OwnerGroup} {
+		b.Run(pol.String(), func(b *testing.B) {
+			p := predictor.New(predictor.DefaultConfig(pol, 16))
+			for i := 0; i < 1000; i++ {
+				p.TrainRequest(predictor.External{
+					Addr:      trace.Addr(i * 7 % 4096),
+					Requester: nodeset.NodeID(i % 16),
+					Kind:      trace.GetExclusive,
+				})
+			}
+			q := predictor.Query{Addr: 42, Requester: 3, Home: 10, Kind: trace.GetExclusive}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Addr = trace.Addr(i % 4096)
+				_ = p.Predict(q)
+			}
+		})
+	}
+}
+
+func BenchmarkPredictorTrain(b *testing.B) {
+	p := predictor.New(predictor.DefaultConfig(predictor.Group, 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.TrainRequest(predictor.External{
+			Addr:      trace.Addr(i % 8192),
+			Requester: nodeset.NodeID(i % 16),
+			Kind:      trace.GetExclusive,
+		})
+	}
+}
+
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	p, err := workload.Preset("oltp", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := workload.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = g.Next()
+	}
+	b.ReportMetric(float64(b.N), "misses")
+}
+
+func BenchmarkProtocolMulticastProcess(b *testing.B) {
+	p, _ := workload.Preset("apache", 1)
+	g, err := workload.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, infos := g.Generate(100_000)
+	eng := protocol.NewMulticast(predictor.NewBank(predictor.DefaultConfig(predictor.Group, 16)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % tr.Len()
+		eng.Process(tr.Records[j], infos[j])
+	}
+}
+
+func BenchmarkTraceEncodeDecode(b *testing.B) {
+	p, _ := workload.Preset("ocean", 1)
+	g, err := workload.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, _ := g.Generate(50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := trace.WriteAll(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+		r, err := trace.NewReader(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := r.ReadAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.Len() != tr.Len() {
+			b.Fatal("length mismatch")
+		}
+	}
+}

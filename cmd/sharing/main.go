@@ -1,0 +1,60 @@
+// Command sharing runs the paper's §2 workload characterization and
+// prints the Table 2 / Figure 2 / Figure 3 / Figure 4 reproductions.
+//
+// Usage:
+//
+//	sharing [-warm N] [-misses N] [-seed S] [-workloads apache,oltp]
+//	        [-table2] [-fig2] [-fig3] [-fig4]
+//
+// With no selection flags, everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"destset/internal/experiments"
+)
+
+func main() {
+	var (
+		warm      = flag.Int("warm", 300_000, "warmup misses per workload")
+		misses    = flag.Int("misses", 300_000, "measured misses per workload")
+		seed      = flag.Uint64("seed", 1, "workload generation seed")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default all)")
+		table2    = flag.Bool("table2", false, "print Table 2 only")
+		fig2      = flag.Bool("fig2", false, "print Figure 2 only")
+		fig3      = flag.Bool("fig3", false, "print Figure 3 only")
+		fig4      = flag.Bool("fig4", false, "print Figure 4 only")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	opt.Seed = *seed
+	opt.WarmMisses = *warm
+	opt.Misses = *misses
+	if *workloads != "" {
+		opt.Workloads = strings.Split(*workloads, ",")
+	}
+
+	cs, err := experiments.Characterize(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sharing:", err)
+		os.Exit(1)
+	}
+	all := !*table2 && !*fig2 && !*fig3 && !*fig4
+	if all || *table2 {
+		fmt.Println(experiments.FormatTable2(cs))
+	}
+	if all || *fig2 {
+		fmt.Println(experiments.FormatFigure2(cs))
+	}
+	if all || *fig3 {
+		fmt.Println(experiments.FormatFigure3(cs))
+	}
+	if all || *fig4 {
+		fmt.Println(experiments.FormatFigure4(cs))
+	}
+}

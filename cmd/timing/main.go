@@ -1,0 +1,89 @@
+// Command timing runs the paper's §5 execution-driven evaluation:
+// Figure 7 (simple processor model, all workloads) and Figure 8
+// (detailed processor model, Apache/OLTP/SPECjbb).
+//
+// Usage:
+//
+//	timing [-warm N] [-misses N] [-seed S] [-workloads a,b] [-fig7] [-fig8]
+//
+// With no selection flags, both figures are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"destset/internal/experiments"
+)
+
+func main() {
+	var (
+		warm      = flag.Int("warm", 100_000, "warmup misses per workload")
+		misses    = flag.Int("misses", 100_000, "timed misses per workload")
+		seed      = flag.Uint64("seed", 1, "workload generation seed")
+		workloads = flag.String("workloads", "", "comma-separated workload subset")
+		fig7      = flag.Bool("fig7", false, "print Figure 7 only")
+		fig8      = flag.Bool("fig8", false, "print Figure 8 only")
+		sweep     = flag.Bool("sweep", false, "print the link-bandwidth sweep (extension)")
+		runs      = flag.Int("runs", 0, "average over N perturbed runs (the paper's §5.2 variability methodology)")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	opt.Seed = *seed
+	opt.TimedWarmMisses = *warm
+	opt.TimedMisses = *misses
+	if *workloads != "" {
+		opt.Workloads = strings.Split(*workloads, ",")
+	}
+	all := !*fig7 && !*fig8 && !*sweep && *runs == 0
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "timing:", err)
+		os.Exit(1)
+	}
+	if all || *fig7 {
+		panels, err := experiments.Figure7(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatTiming(
+			"Figure 7: simple processor model (runtime normalized to directory, traffic to snooping)",
+			panels))
+	}
+	if all || *fig8 {
+		panels, err := experiments.Figure8(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatTiming(
+			"Figure 8: detailed processor model", panels))
+	}
+	if *runs > 0 {
+		name := "oltp"
+		if len(opt.Workloads) > 0 {
+			name = opt.Workloads[0]
+		}
+		pts, err := experiments.Figure7Variability(opt, name, *runs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Variability: %s averaged over %d perturbed runs (§5.2 methodology)\n", name, *runs)
+		for _, pt := range pts {
+			fmt.Printf("  %-40s %12.1f us  ± %8.1f us  (CV %.3f)  %7.1f B/miss\n",
+				pt.Config, pt.MeanRuntimeNs/1000, pt.StddevNs/1000, pt.CoeffVar, pt.MeanBPM)
+		}
+	}
+	if all || *sweep {
+		pts, err := experiments.BandwidthSweep(opt, []float64{0.3, 0.6, 1.25, 2.5, 5, 10, 20})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Extension: link-bandwidth sweep (runtime in us, lower is better)")
+		for _, pt := range pts {
+			fmt.Printf("  %6.2f B/ns  %-36s %12.1f\n", pt.BytesPerNs, pt.Config, pt.RuntimeNs/1000)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command traceeval runs the paper's §4 trace-driven predictor
+// evaluation: Figure 5 (standout predictors on all workloads) and
+// Figure 6 (OLTP sensitivity to indexing and predictor size).
+//
+// Usage:
+//
+//	traceeval [-warm N] [-misses N] [-seed S] [-workloads a,b]
+//	          [-fig5] [-fig6a] [-fig6b] [-fig6c]
+//
+// With no selection flags, everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"destset/internal/experiments"
+)
+
+func main() {
+	var (
+		warm      = flag.Int("warm", 300_000, "warmup misses per workload")
+		misses    = flag.Int("misses", 300_000, "measured misses per workload")
+		seed      = flag.Uint64("seed", 1, "workload generation seed")
+		workloads = flag.String("workloads", "", "comma-separated workload subset for fig5 (default all)")
+		fig5      = flag.Bool("fig5", false, "print Figure 5 only")
+		fig6a     = flag.Bool("fig6a", false, "print Figure 6(a) only")
+		fig6b     = flag.Bool("fig6b", false, "print Figure 6(b) only")
+		fig6c     = flag.Bool("fig6c", false, "print Figure 6(c) only")
+		hybrids   = flag.Bool("hybrids", false, "print the hybrid-style comparison (extension)")
+		oracle    = flag.Bool("oracle", false, "print the oracle prediction limit (extension)")
+		ablations = flag.Bool("ablations", false, "print predictor design ablations (extension)")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	opt.Seed = *seed
+	opt.WarmMisses = *warm
+	opt.Misses = *misses
+	if *workloads != "" {
+		opt.Workloads = strings.Split(*workloads, ",")
+	}
+	all := !*fig5 && !*fig6a && !*fig6b && !*fig6c && !*hybrids && !*oracle && !*ablations
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "traceeval:", err)
+		os.Exit(1)
+	}
+	if all || *fig5 {
+		panels, err := experiments.Figure5(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatTradeoff(
+			"Figure 5: standout predictors (8192 entries, 1024B macroblocks)", panels))
+	}
+	if all || *fig6a {
+		pts, err := experiments.Figure6a(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatTradeoffPoints(
+			"Figure 6(a): PC vs data-block indexing, unbounded predictors", "oltp", pts))
+	}
+	if all || *fig6b {
+		pts, err := experiments.Figure6b(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatTradeoffPoints(
+			"Figure 6(b): macroblock indexing, unbounded predictors", "oltp", pts))
+	}
+	if all || *fig6c {
+		pts, err := experiments.Figure6c(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatTradeoffPoints(
+			"Figure 6(c): predictor size and StickySpatial(1) comparison", "oltp", pts))
+	}
+	if all || *hybrids {
+		panels, err := experiments.HybridComparison(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatTradeoff(
+			"Extension: multicast snooping vs predictive directory (Acacio-style)", panels))
+	}
+	if all || *oracle {
+		panels, err := experiments.OracleLimit(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatTradeoff(
+			"Extension: oracle prediction limit", panels))
+	}
+	if all || *ablations {
+		pts, err := experiments.AblationRollover(opt, []int{4, 16, 32, 128, 1024})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatTradeoffPoints(
+			"Ablation: Group rollover (training-down) limit", "oltp", pts))
+		pts, err = experiments.AblationAssociativity(opt, []int{1, 2, 4, 8})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatTradeoffPoints(
+			"Ablation: predictor table associativity (OwnerGroup, 8192 entries)", "oltp", pts))
+		pts, err = experiments.MacroblockSweep(opt, []int{64, 256, 1024, 4096, 16384})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatTradeoffPoints(
+			"Ablation: macroblock size sweep (OwnerGroup, unbounded)", "oltp", pts))
+	}
+}

@@ -1,0 +1,113 @@
+// Command tracegen generates a synthetic coherence-request trace for one
+// of the paper's workloads and writes it in the binary trace format, or
+// summarizes an existing trace file.
+//
+// Usage:
+//
+//	tracegen -workload oltp -misses 1000000 -o oltp.trace
+//	tracegen -summarize oltp.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"destset/internal/trace"
+	"destset/internal/workload"
+)
+
+func main() {
+	var (
+		name      = flag.String("workload", "oltp", "workload preset name")
+		misses    = flag.Int("misses", 1_000_000, "number of misses to generate")
+		seed      = flag.Uint64("seed", 1, "generation seed")
+		out       = flag.String("o", "", "output file (default stdout)")
+		summarize = flag.String("summarize", "", "summarize an existing trace file instead")
+	)
+	flag.Parse()
+
+	if *summarize != "" {
+		if err := summary(*summarize); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := generate(*name, *seed, *misses, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(name string, seed uint64, misses int, out string) error {
+	params, err := workload.Preset(name, seed)
+	if err != nil {
+		return err
+	}
+	g, err := workload.New(params)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	tw, err := trace.NewWriter(w, params.Nodes)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < misses; i++ {
+		rec, _ := g.Next()
+		if err := tw.Write(rec); err != nil {
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d misses of %s\n", misses, name)
+	return nil
+}
+
+func summary(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var n, reads uint64
+	var instr uint64
+	perNode := make([]uint64, r.Nodes())
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		n++
+		instr += uint64(rec.Gap)
+		if rec.Kind == trace.GetShared {
+			reads++
+		}
+		perNode[rec.Requester]++
+	}
+	fmt.Printf("trace: %d nodes, %d misses, %.1f%% reads, %.2f misses/1k instructions\n",
+		r.Nodes(), n, 100*float64(reads)/float64(n), 1000*float64(n)/float64(instr))
+	for i, c := range perNode {
+		fmt.Printf("  node %2d: %d misses\n", i, c)
+	}
+	return nil
+}

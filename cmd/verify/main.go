@@ -1,0 +1,58 @@
+// Command verify model-checks the multicast snooping protocol: it
+// exhaustively explores every reachable coherence state of a small system
+// under every possible destination-set prediction and checks the safety
+// invariants (single-writer/multiple-reader, data-value integrity,
+// memory freshness) — the Sorin et al. verification the paper's protocol
+// correctness rests on (§4.1).
+//
+// Usage:
+//
+//	verify [-nodes N] [-inject bug]
+//
+// where bug is one of: none (default), no-sharer-inval,
+// sufficiency-no-sharers, sufficiency-no-owner, no-writeback.
+// Injecting a bug demonstrates the checker finding the violating trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"destset/internal/verify"
+)
+
+func main() {
+	var (
+		nodes  = flag.Int("nodes", 4, "model size (2-4 nodes)")
+		inject = flag.String("inject", "none", "protocol bug to inject")
+	)
+	flag.Parse()
+
+	rules := verify.CorrectRules()
+	switch *inject {
+	case "none":
+	case "no-sharer-inval":
+		rules.GETXInvalidatesSharers = false
+	case "sufficiency-no-sharers":
+		rules.SufficiencyIncludesSharers = false
+	case "sufficiency-no-owner":
+		rules.SufficiencyIncludesOwner = false
+	case "no-writeback":
+		rules.DirtyEvictionWritesBack = false
+	default:
+		fmt.Fprintf(os.Stderr, "verify: unknown bug %q\n", *inject)
+		os.Exit(2)
+	}
+
+	res, v := verify.Check(*nodes, rules)
+	if v != nil {
+		fmt.Printf("VIOLATION after exploring %d states / %d transitions:\n  %v\n",
+			res.States, res.Transitions, v)
+		os.Exit(1)
+	}
+	fmt.Printf("protocol safe: %d reachable states, %d transitions verified\n",
+		res.States, res.Transitions)
+	fmt.Println("every destination-set prediction preserves coherence;")
+	fmt.Println("predictions affect performance, never correctness.")
+}

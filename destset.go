@@ -1,0 +1,241 @@
+// Package destset is a Go reproduction of "Using Destination-Set
+// Prediction to Improve the Latency/Bandwidth Tradeoff in Shared-Memory
+// Multiprocessors" (Martin, Harper, Sorin, Hill, Wood — ISCA 2003).
+//
+// The destination set is the collection of processors that receive a
+// coherence request. Snooping protocols broadcast every request (lowest
+// latency, most bandwidth); directory protocols send requests to a home
+// node that forwards them (least bandwidth, indirection latency).
+// Destination-set predictors let a multicast snooping protocol send each
+// request directly to a predicted set of nodes, trading latency against
+// bandwidth per-request.
+//
+// This package is the public facade over the implementation:
+//
+//   - Predictors: the paper's Owner, BroadcastIfShared, Group,
+//     OwnerGroup and StickySpatial(1) policies with block, macroblock
+//     and PC indexing (internal/predictor).
+//   - Workloads: synthetic generators calibrated to the paper's six
+//     commercial/scientific benchmarks (internal/workload).
+//   - Protocols: broadcast snooping, GS320-style directory and multicast
+//     snooping accounting engines (internal/protocol).
+//   - Timing: an execution-driven discrete-event model of the paper's
+//     16-node target system (internal/sim).
+//
+// The quickest start is EvaluatePolicy, which generates a workload,
+// warms a predictor bank and reports the latency/bandwidth tradeoff
+// point; see examples/ for full programs and cmd/ for the per-figure
+// experiment tools.
+package destset
+
+import (
+	"destset/internal/coherence"
+	"destset/internal/nodeset"
+	"destset/internal/predictor"
+	"destset/internal/protocol"
+	"destset/internal/sim"
+	"destset/internal/trace"
+	"destset/internal/workload"
+)
+
+// Core identifiers.
+type (
+	// NodeID identifies a processor/memory node.
+	NodeID = nodeset.NodeID
+	// Set is a destination set (a bit set of nodes).
+	Set = nodeset.Set
+	// Addr is a 64-byte-block address.
+	Addr = trace.Addr
+	// PC identifies a static load/store instruction.
+	PC = trace.PC
+	// Record is one coherence request (an L2 miss).
+	Record = trace.Record
+	// Trace is an in-memory coherence-request trace.
+	Trace = trace.Trace
+	// MissInfo is the coherence state a miss observed (owner, sharers,
+	// home), from which needed destination sets derive.
+	MissInfo = coherence.MissInfo
+)
+
+// Request kinds.
+const (
+	// GetShared requests a read-only copy.
+	GetShared = trace.GetShared
+	// GetExclusive requests a writable copy.
+	GetExclusive = trace.GetExclusive
+)
+
+// Predictor API.
+type (
+	// Predictor is one node's destination-set predictor.
+	Predictor = predictor.Predictor
+	// PredictorConfig selects policy, capacity and indexing.
+	PredictorConfig = predictor.Config
+	// Policy enumerates prediction policies.
+	Policy = predictor.Policy
+	// Indexing selects block, macroblock or PC indexing.
+	Indexing = predictor.Indexing
+	// Query is a prediction request.
+	Query = predictor.Query
+	// Response is the data-response training event.
+	Response = predictor.Response
+	// External is the observed-external-request training event.
+	External = predictor.External
+	// Retry is the insufficient-prediction training event.
+	Retry = predictor.Retry
+)
+
+// Prediction policies (the paper's Table 3 plus reference policies).
+const (
+	Owner             = predictor.Owner
+	BroadcastIfShared = predictor.BroadcastIfShared
+	Group             = predictor.Group
+	OwnerGroup        = predictor.OwnerGroup
+	StickySpatial     = predictor.StickySpatial
+	Minimal           = predictor.Minimal
+	Broadcast         = predictor.Broadcast
+	Oracle            = predictor.Oracle
+)
+
+// Indexing modes.
+const (
+	ByBlock = predictor.ByBlock
+	ByPC    = predictor.ByPC
+)
+
+// NewPredictor builds a single predictor.
+func NewPredictor(cfg PredictorConfig) Predictor { return predictor.New(cfg) }
+
+// NewPredictorBank builds one predictor per node.
+func NewPredictorBank(cfg PredictorConfig) []Predictor { return predictor.NewBank(cfg) }
+
+// DefaultPredictorConfig is the paper's standout configuration: 8192
+// entries, 4-way, 1024-byte macroblock indexing.
+func DefaultPredictorConfig(p Policy, nodes int) PredictorConfig {
+	return predictor.DefaultConfig(p, nodes)
+}
+
+// Workload API.
+type (
+	// WorkloadParams fully describes a synthetic workload.
+	WorkloadParams = workload.Params
+	// Generator produces a workload's coherence-request stream.
+	Generator = workload.Generator
+)
+
+// Workloads returns the six paper benchmark names.
+func Workloads() []string { return workload.Names() }
+
+// NewWorkload returns a named preset's parameters.
+func NewWorkload(name string, seed uint64) (WorkloadParams, error) {
+	return workload.Preset(name, seed)
+}
+
+// NewGenerator builds a workload generator.
+func NewGenerator(p WorkloadParams) (*Generator, error) { return workload.New(p) }
+
+// Protocol accounting API.
+type (
+	// Engine processes misses under one protocol.
+	Engine = protocol.Engine
+	// Totals aggregates per-miss accounting.
+	Totals = protocol.Totals
+)
+
+// NewSnoopingEngine returns a broadcast snooping accounting engine.
+func NewSnoopingEngine(nodes int) Engine { return protocol.NewSnooping(nodes) }
+
+// NewDirectoryEngine returns a directory protocol accounting engine.
+func NewDirectoryEngine() Engine { return protocol.NewDirectory() }
+
+// NewMulticastEngine returns a multicast snooping engine over a
+// predictor bank (one predictor per node).
+func NewMulticastEngine(bank []Predictor) Engine { return protocol.NewMulticast(bank) }
+
+// NewPredictiveDirectoryEngine returns the Acacio-style hybrid the paper
+// cites (§1, §6): owner prediction layered on a directory protocol,
+// converting predicted 3-hop misses into 2-hop misses.
+func NewPredictiveDirectoryEngine(bank []Predictor) Engine {
+	return protocol.NewPredictiveDirectory(bank)
+}
+
+// Timing API.
+type (
+	// SimConfig describes an execution-driven timing run.
+	SimConfig = sim.Config
+	// SimResult reports runtime and traffic.
+	SimResult = sim.Result
+)
+
+// Timing protocols.
+const (
+	SimSnooping  = sim.Snooping
+	SimDirectory = sim.Directory
+	SimMulticast = sim.Multicast
+)
+
+// CPU models.
+const (
+	SimpleCPU   = sim.SimpleCPU
+	DetailedCPU = sim.DetailedCPU
+)
+
+// DefaultSimConfig is the paper's Table 4 target system.
+func DefaultSimConfig(p sim.Protocol) SimConfig { return sim.DefaultConfig(p) }
+
+// RunTiming simulates the timed trace after warming with warm (which may
+// be nil).
+func RunTiming(cfg SimConfig, warm, timed *Trace) (SimResult, error) {
+	return sim.Run(cfg, warm, timed)
+}
+
+// TradeoffResult is the outcome of EvaluatePolicy: one point on the
+// paper's latency/bandwidth plane.
+type TradeoffResult struct {
+	// Config names the evaluated engine.
+	Config string
+	// RequestMsgsPerMiss is request/forward/retry messages per miss.
+	RequestMsgsPerMiss float64
+	// IndirectionPercent is the percent of misses needing indirection.
+	IndirectionPercent float64
+	// BytesPerMiss is total traffic per miss in bytes.
+	BytesPerMiss float64
+}
+
+// EvaluatePolicy generates the named workload, warms the predictor bank
+// on warmMisses, measures measureMisses and returns the tradeoff point.
+// It is the one-call version of the paper's §4 methodology.
+func EvaluatePolicy(workloadName string, policy Policy, seed uint64, warmMisses, measureMisses int) (TradeoffResult, error) {
+	params, err := workload.Preset(workloadName, seed)
+	if err != nil {
+		return TradeoffResult{}, err
+	}
+	g, err := workload.New(params)
+	if err != nil {
+		return TradeoffResult{}, err
+	}
+	var eng protocol.Engine
+	switch policy {
+	case Broadcast:
+		eng = protocol.NewSnooping(params.Nodes)
+	case Minimal:
+		eng = protocol.NewDirectory()
+	default:
+		eng = protocol.NewMulticast(predictor.NewBank(predictor.DefaultConfig(policy, params.Nodes)))
+	}
+	for i := 0; i < warmMisses; i++ {
+		rec, mi := g.Next()
+		eng.Process(rec, mi)
+	}
+	var tot protocol.Totals
+	for i := 0; i < measureMisses; i++ {
+		rec, mi := g.Next()
+		tot.Add(eng.Process(rec, mi))
+	}
+	return TradeoffResult{
+		Config:             eng.Name(),
+		RequestMsgsPerMiss: tot.RequestMsgsPerMiss(),
+		IndirectionPercent: tot.IndirectionPercent(),
+		BytesPerMiss:       tot.BytesPerMiss(),
+	}, nil
+}

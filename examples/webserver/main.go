@@ -1,0 +1,76 @@
+// Webserver: run the Apache workload through the execution-driven timing
+// simulator (§5) and report the runtime/traffic tradeoff — the paper's
+// headline result that a predictor reaches most of snooping's performance
+// at a fraction of its bandwidth.
+//
+// Run with:
+//
+//	go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"destset"
+)
+
+const (
+	warmMisses  = 60_000
+	timedMisses = 60_000
+)
+
+func main() {
+	params, err := destset.NewWorkload("apache", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := destset.NewGenerator(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warm, _ := gen.Generate(warmMisses)
+	timed, _ := gen.Generate(timedMisses)
+
+	configs := []destset.SimConfig{
+		destset.DefaultSimConfig(destset.SimSnooping),
+		destset.DefaultSimConfig(destset.SimDirectory),
+	}
+	for _, policy := range []destset.Policy{destset.OwnerGroup, destset.Group} {
+		cfg := destset.DefaultSimConfig(destset.SimMulticast)
+		cfg.Predictor = destset.DefaultPredictorConfig(policy, 16)
+		configs = append(configs, cfg)
+	}
+
+	fmt.Printf("Apache, 16-node timing simulation (%d timed misses)\n\n", timedMisses)
+	fmt.Printf("%-36s %12s %14s %12s\n", "configuration", "runtime(us)", "avg miss(ns)", "bytes/miss")
+	var snoopRuntime, dirRuntime, snoopTraffic float64
+	results := make([]destset.SimResult, len(configs))
+	for i, cfg := range configs {
+		res, err := destset.RunTiming(cfg, warm, timed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[i] = res
+		switch cfg.Protocol {
+		case destset.SimSnooping:
+			snoopRuntime = res.RuntimeNs
+			snoopTraffic = res.BytesPerMiss()
+		case destset.SimDirectory:
+			dirRuntime = res.RuntimeNs
+		}
+		fmt.Printf("%-36s %12.1f %14.1f %12.1f\n",
+			cfg.Name(), res.RuntimeNs/1000, res.AvgMissLatencyNs, res.BytesPerMiss())
+	}
+
+	fmt.Println()
+	fmt.Printf("snooping speedup over directory: %.2fx (paper: up to ~2x on Apache/OLTP)\n",
+		dirRuntime/snoopRuntime)
+	for i, cfg := range configs[2:] {
+		res := results[i+2]
+		perf := 100 * snoopRuntime / res.RuntimeNs
+		traffic := 100 * res.BytesPerMiss() / snoopTraffic
+		fmt.Printf("%s: %.0f%% of snooping performance at %.0f%% of its traffic\n",
+			cfg.Name(), perf, traffic)
+	}
+}

@@ -1,0 +1,233 @@
+// Package cache models a set-associative cache with MOSI coherence states
+// and LRU replacement.
+//
+// It serves as the per-node L2 cache of the simulated 16-processor system
+// (the paper's target: 4 MB, 4-way, 64-byte blocks). The coherence oracle
+// keeps one Cache per node; evictions reported by Insert drive the
+// protocol-visible downgrades (writebacks of owned blocks, silent drops of
+// shared blocks).
+package cache
+
+import (
+	"fmt"
+
+	"destset/internal/trace"
+)
+
+// State is a MOSI coherence state for a cached block. The protocol used in
+// the paper is MOSI write-invalidate: Modified and Owned blocks must supply
+// data (the node is the owner); Shared blocks may be dropped silently.
+type State uint8
+
+const (
+	// Invalid means the block is not present.
+	Invalid State = iota
+	// Shared is a read-only copy; another node or memory owns the block.
+	Shared
+	// Exclusive is a clean read-only copy held by exactly one cache (the
+	// E of MOESI); the holder owns the block and may silently upgrade to
+	// Modified, but eviction needs no writeback.
+	Exclusive
+	// Owned is a writable-dirty copy that other nodes may also share; the
+	// holder must respond to requests and write back on eviction.
+	Owned
+	// Modified is an exclusive dirty copy.
+	Modified
+)
+
+// String returns the one-letter state mnemonic.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// IsOwner reports whether a block in state s must respond with data.
+func (s State) IsOwner() bool { return s == Exclusive || s == Owned || s == Modified }
+
+// Dirty reports whether eviction of state s requires a writeback.
+func (s State) Dirty() bool { return s == Owned || s == Modified }
+
+// Config sizes a cache.
+type Config struct {
+	// SizeBytes is the total capacity, e.g. 4 MiB.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// BlockBytes is the line size (64 in all paper experiments).
+	BlockBytes int
+}
+
+// L2Default is the paper's Table 4 L2 configuration: 4 MB, 4-way, 64 B.
+var L2Default = Config{SizeBytes: 4 << 20, Ways: 4, BlockBytes: trace.BlockBytes}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int {
+	s := c.SizeBytes / (c.Ways * c.BlockBytes)
+	if s <= 0 {
+		return 1
+	}
+	return s
+}
+
+// Eviction describes a block displaced by Insert.
+type Eviction struct {
+	Addr  trace.Addr
+	State State
+}
+
+// line is one cache way. lru is a per-set timestamp: higher = more recent.
+type line struct {
+	addr  trace.Addr
+	state State
+	lru   uint64
+}
+
+// Cache is a set-associative MOSI cache. The zero value is unusable; use
+// New.
+type Cache struct {
+	cfg    Config
+	sets   [][]line
+	mask   uint64
+	clock  uint64
+	misses uint64
+	hits   uint64
+}
+
+// New returns an empty cache with the given geometry. The set count must be
+// a power of two (true for all realistic configurations; New panics
+// otherwise to catch sizing bugs early).
+func New(cfg Config) *Cache {
+	n := cfg.Sets()
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d is not a power of two", n))
+	}
+	sets := make([][]line, n)
+	backing := make([]line, n*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &Cache{cfg: cfg, sets: sets, mask: uint64(n - 1)}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) set(a trace.Addr) []line { return c.sets[uint64(a)&c.mask] }
+
+// Lookup returns the block's state without touching LRU. Invalid means not
+// present.
+func (c *Cache) Lookup(a trace.Addr) State {
+	for i := range c.set(a) {
+		l := &c.set(a)[i]
+		if l.state != Invalid && l.addr == a {
+			return l.state
+		}
+	}
+	return Invalid
+}
+
+// Touch updates LRU for a resident block and reports whether it was
+// present (counting a hit or miss).
+func (c *Cache) Touch(a trace.Addr) bool {
+	c.clock++
+	for i := range c.set(a) {
+		l := &c.set(a)[i]
+		if l.state != Invalid && l.addr == a {
+			l.lru = c.clock
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// SetState changes the state of a resident block. It panics if the block
+// is not resident — state changes on absent blocks indicate a protocol bug.
+func (c *Cache) SetState(a trace.Addr, s State) {
+	for i := range c.set(a) {
+		l := &c.set(a)[i]
+		if l.state != Invalid && l.addr == a {
+			if s == Invalid {
+				l.state = Invalid
+				return
+			}
+			l.state = s
+			return
+		}
+	}
+	panic(fmt.Sprintf("cache: SetState(%#x) on non-resident block", uint64(a)))
+}
+
+// Invalidate removes a block if present and reports whether it was present.
+func (c *Cache) Invalidate(a trace.Addr) bool {
+	for i := range c.set(a) {
+		l := &c.set(a)[i]
+		if l.state != Invalid && l.addr == a {
+			l.state = Invalid
+			return true
+		}
+	}
+	return false
+}
+
+// Insert places a block in state s, updating LRU. If the block is already
+// resident its state is updated in place. If the set is full the LRU line
+// is evicted and returned; ok reports whether an eviction happened.
+func (c *Cache) Insert(a trace.Addr, s State) (ev Eviction, ok bool) {
+	c.clock++
+	set := c.set(a)
+	var victim *line
+	for i := range set {
+		l := &set[i]
+		if l.state != Invalid && l.addr == a {
+			l.state = s
+			l.lru = c.clock
+			return Eviction{}, false
+		}
+		if l.state == Invalid {
+			if victim == nil || victim.state != Invalid {
+				victim = l
+			}
+		} else if victim == nil || (victim.state != Invalid && l.lru < victim.lru) {
+			victim = l
+		}
+	}
+	if victim.state != Invalid {
+		ev = Eviction{Addr: victim.addr, State: victim.state}
+		ok = true
+	}
+	victim.addr = a
+	victim.state = s
+	victim.lru = c.clock
+	return ev, ok
+}
+
+// Stats returns cumulative hit and miss counts observed by Touch.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// Resident returns the number of valid lines (for tests and occupancy
+// reporting).
+func (c *Cache) Resident() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, l := range set {
+			if l.state != Invalid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,383 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"destset/internal/cache"
+	"destset/internal/nodeset"
+	"destset/internal/trace"
+)
+
+// testConfig returns a 4-node system with tiny caches so eviction paths
+// are exercised quickly.
+func testConfig() Config {
+	return Config{
+		Nodes:           4,
+		L2:              cache.Config{SizeBytes: 16 * 64, Ways: 2, BlockBytes: 64},
+		TrackBlockStats: true,
+	}
+}
+
+func TestColdLoadMissFromMemory(t *testing.T) {
+	s := NewSystem(testConfig())
+	mi, miss := s.Access(1, 100, Load)
+	if !miss {
+		t.Fatal("cold access should miss")
+	}
+	if !mi.OwnerIsMemory() {
+		t.Error("cold block should be memory-owned")
+	}
+	if mi.Home != s.Home(100) {
+		t.Errorf("Home = %d, want %d", mi.Home, s.Home(100))
+	}
+	if mi.CacheToCache(1) {
+		t.Error("memory-sourced miss is not cache-to-cache")
+	}
+	if mi.DirIndirection(1) {
+		t.Error("memory-sourced miss needs no directory indirection")
+	}
+	if got := s.CacheOf(1).Lookup(100); got != cache.Shared {
+		t.Errorf("requester state = %v, want S", got)
+	}
+	if !s.SharersOf(100).Contains(1) {
+		t.Error("requester should be recorded as sharer")
+	}
+}
+
+func TestLoadHitAfterMiss(t *testing.T) {
+	s := NewSystem(testConfig())
+	s.Access(1, 100, Load)
+	if _, miss := s.Access(1, 100, Load); miss {
+		t.Error("second load should hit")
+	}
+}
+
+func TestStoreThenRemoteLoadIsCacheToCache(t *testing.T) {
+	s := NewSystem(testConfig())
+	s.Access(0, 100, Store)
+	if got := s.OwnerOf(100); got != 0 {
+		t.Fatalf("owner = %d, want 0", got)
+	}
+	mi, miss := s.Access(2, 100, Load)
+	if !miss {
+		t.Fatal("remote load should miss")
+	}
+	if !mi.CacheToCache(2) {
+		t.Error("load from modified remote block should be cache-to-cache")
+	}
+	if mi.Owner != 0 {
+		t.Errorf("Owner = %d, want 0", mi.Owner)
+	}
+	// Owner downgrades M -> O, requester gets S.
+	if got := s.CacheOf(0).Lookup(100); got != cache.Owned {
+		t.Errorf("previous owner state = %v, want O", got)
+	}
+	if got := s.CacheOf(2).Lookup(100); got != cache.Shared {
+		t.Errorf("requester state = %v, want S", got)
+	}
+	if got := s.OwnerOf(100); got != 0 {
+		t.Errorf("owner after GETS = %d, want 0 (MOSI keeps ownership)", got)
+	}
+}
+
+func TestStoreInvalidatesSharers(t *testing.T) {
+	s := NewSystem(testConfig())
+	s.Access(0, 100, Store) // 0: M
+	s.Access(1, 100, Load)  // 0: O, 1: S
+	s.Access(2, 100, Load)  // 2: S
+	mi, miss := s.Access(3, 100, Store)
+	if !miss {
+		t.Fatal("store should miss")
+	}
+	if mi.Owner != 0 {
+		t.Errorf("pre-request owner = %d, want 0", mi.Owner)
+	}
+	if !mi.Sharers.Contains(1) || !mi.Sharers.Contains(2) {
+		t.Errorf("pre-request sharers = %v, want {1,2}", mi.Sharers)
+	}
+	for _, n := range []nodeset.NodeID{0, 1, 2} {
+		if got := s.CacheOf(n).Lookup(100); got != cache.Invalid {
+			t.Errorf("node %d state = %v, want I after GETX", n, got)
+		}
+	}
+	if got := s.CacheOf(3).Lookup(100); got != cache.Modified {
+		t.Errorf("writer state = %v, want M", got)
+	}
+	if got := s.OwnerOf(100); got != 3 {
+		t.Errorf("owner = %d, want 3", got)
+	}
+	if !s.SharersOf(100).Empty() {
+		t.Errorf("sharers = %v, want empty", s.SharersOf(100))
+	}
+}
+
+func TestUpgradeMiss(t *testing.T) {
+	s := NewSystem(testConfig())
+	s.Access(0, 100, Load) // 0: S, memory owner
+	s.Access(1, 100, Load) // 1: S
+	mi, miss := s.Access(0, 100, Store)
+	if !miss {
+		t.Fatal("store to Shared copy must be an upgrade miss")
+	}
+	if mi.RequesterState != cache.Shared {
+		t.Errorf("RequesterState = %v, want S", mi.RequesterState)
+	}
+	if !mi.Sharers.Contains(0) || !mi.Sharers.Contains(1) {
+		t.Errorf("Sharers = %v, want {0,1}", mi.Sharers)
+	}
+	if !mi.OwnerIsMemory() {
+		t.Error("owner should be memory pre-upgrade")
+	}
+	if got := s.CacheOf(1).Lookup(100); got != cache.Invalid {
+		t.Errorf("other sharer = %v, want invalidated", got)
+	}
+	if got := s.CacheOf(0).Lookup(100); got != cache.Modified {
+		t.Errorf("upgrader = %v, want M", got)
+	}
+}
+
+func TestUpgradeByOwnerHasNoResponder(t *testing.T) {
+	s := NewSystem(testConfig())
+	s.Access(0, 100, Store) // 0: M
+	s.Access(1, 100, Load)  // 0: O, 1: S
+	mi, miss := s.Access(0, 100, Store)
+	if !miss {
+		t.Fatal("store to Owned copy with sharers must miss (upgrade)")
+	}
+	if mi.RequesterState != cache.Owned {
+		t.Errorf("RequesterState = %v, want O", mi.RequesterState)
+	}
+	_, fromMem, none := mi.Responder(0)
+	if fromMem || !none {
+		t.Error("owner upgrade needs no data response")
+	}
+	if mi.DirIndirection(0) {
+		t.Error("owner upgrade is not a directory indirection")
+	}
+}
+
+func TestStoreHitOnModified(t *testing.T) {
+	s := NewSystem(testConfig())
+	s.Access(0, 100, Store)
+	if _, miss := s.Access(0, 100, Store); miss {
+		t.Error("store to own Modified block should hit")
+	}
+	if _, miss := s.Access(0, 100, Load); miss {
+		t.Error("load of own Modified block should hit")
+	}
+}
+
+func TestNeededSet(t *testing.T) {
+	s := NewSystem(testConfig())
+	s.Access(0, 100, Store)
+	s.Access(1, 100, Load)
+	s.Access(2, 100, Load)
+	mi, _ := s.Access(3, 100, Store)
+	home := s.Home(100)
+	needGETX := mi.Needed(3, trace.GetExclusive)
+	want := nodeset.Of(3, home, 0, 1, 2)
+	if needGETX != want {
+		t.Errorf("Needed(GETX) = %v, want %v", needGETX, want)
+	}
+	needGETS := mi.Needed(3, trace.GetShared)
+	want = nodeset.Of(3, home, 0)
+	if needGETS != want {
+		t.Errorf("Needed(GETS) = %v, want %v", needGETS, want)
+	}
+}
+
+func TestDirMustSee(t *testing.T) {
+	s := NewSystem(testConfig())
+	s.Access(0, 100, Store) // owner 0
+	s.Access(1, 100, Load)  // sharer 1
+	mi, _ := s.Access(2, 100, Store)
+	// Write by 2: must see owner 0 and sharer 1.
+	if got := mi.DirMustSee(2, trace.GetExclusive); got != 2 {
+		t.Errorf("DirMustSee(GETX) = %d, want 2", got)
+	}
+	if got := mi.DirMustSee(2, trace.GetShared); got != 1 {
+		t.Errorf("DirMustSee(GETS) = %d, want 1 (owner only)", got)
+	}
+
+	s2 := NewSystem(testConfig())
+	mi2, _ := s2.Access(0, 50, Load)
+	if got := mi2.DirMustSee(0, trace.GetShared); got != 0 {
+		t.Errorf("cold read DirMustSee = %d, want 0", got)
+	}
+}
+
+func TestResponder(t *testing.T) {
+	s := NewSystem(testConfig())
+	mi, _ := s.Access(0, 100, Load)
+	node, fromMem, none := mi.Responder(0)
+	if !fromMem || none || node != s.Home(100) {
+		t.Errorf("cold miss responder = (%d,%v,%v), want memory at home", node, fromMem, none)
+	}
+	s.Access(1, 100, Store)
+	mi, _ = s.Access(2, 100, Load)
+	node, fromMem, none = mi.Responder(2)
+	if fromMem || none || node != 1 {
+		t.Errorf("c2c responder = (%d,%v,%v), want node 1", node, fromMem, none)
+	}
+}
+
+func TestEvictionWritesBackOwnership(t *testing.T) {
+	cfg := Config{
+		Nodes: 2,
+		// Direct-mapped single-set cache: every insert evicts.
+		L2:              cache.Config{SizeBytes: 64, Ways: 1, BlockBytes: 64},
+		TrackBlockStats: true,
+	}
+	s := NewSystem(cfg)
+	s.Access(0, 10, Store) // 0 owns 10
+	s.Access(0, 20, Store) // evicts 10 -> memory owns 10 again
+	if got := s.OwnerOf(10); got != MemoryOwner {
+		t.Errorf("owner of evicted dirty block = %d, want memory", got)
+	}
+	mi, miss := s.Access(1, 10, Load)
+	if !miss || !mi.OwnerIsMemory() {
+		t.Error("post-writeback load should be a memory miss")
+	}
+}
+
+func TestEvictionDropsSharer(t *testing.T) {
+	cfg := Config{
+		Nodes:           2,
+		L2:              cache.Config{SizeBytes: 64, Ways: 1, BlockBytes: 64},
+		TrackBlockStats: true,
+	}
+	s := NewSystem(cfg)
+	s.Access(0, 10, Load) // 0 shares 10
+	s.Access(0, 20, Load) // evicts 10 silently
+	if s.SharersOf(10).Contains(0) {
+		t.Error("evicted sharer should leave the sharer set")
+	}
+}
+
+func TestApplyReplayMatchesAccess(t *testing.T) {
+	gen := NewSystem(testConfig())
+	rep := NewSystem(testConfig())
+	accesses := []struct {
+		p nodeset.NodeID
+		a trace.Addr
+		k AccessKind
+	}{
+		{0, 1, Store}, {1, 1, Load}, {2, 1, Store}, {0, 2, Load},
+		{3, 1, Load}, {3, 2, Store}, {0, 1, Load}, {1, 2, Load},
+	}
+	var recs []trace.Record
+	var infos []MissInfo
+	for _, ac := range accesses {
+		mi, miss := gen.Access(ac.p, ac.a, ac.k)
+		if !miss {
+			continue
+		}
+		kind := trace.GetShared
+		if ac.k == Store {
+			kind = trace.GetExclusive
+		}
+		recs = append(recs, trace.Record{Addr: ac.a, Requester: uint8(ac.p), Kind: kind})
+		infos = append(infos, mi)
+	}
+	for i, r := range recs {
+		got := rep.Apply(r)
+		if got != infos[i] {
+			t.Errorf("replay record %d: %+v != %+v", i, got, infos[i])
+		}
+	}
+}
+
+func TestBlockStats(t *testing.T) {
+	s := NewSystem(testConfig())
+	s.Access(0, 5, Load)
+	s.Access(1, 5, Store)
+	s.Access(0, 9, Load)
+	var stats []BlockStat
+	s.ForEachTouchedBlock(func(b BlockStat) { stats = append(stats, b) })
+	if len(stats) != 2 {
+		t.Fatalf("touched blocks = %d, want 2", len(stats))
+	}
+	if stats[0].Addr != 5 || stats[0].Touched != nodeset.Of(0, 1) || stats[0].Misses != 2 {
+		t.Errorf("block 5 stats = %+v", stats[0])
+	}
+	if stats[1].Addr != 9 || stats[1].Touched != nodeset.Of(0) || stats[1].Misses != 1 {
+		t.Errorf("block 9 stats = %+v", stats[1])
+	}
+}
+
+func TestHomeInterleaving(t *testing.T) {
+	s := NewSystem(testConfig())
+	for a := trace.Addr(0); a < 16; a++ {
+		if got, want := s.Home(a), nodeset.NodeID(a%4); got != want {
+			t.Errorf("Home(%d) = %d, want %d", a, got, want)
+		}
+	}
+}
+
+func TestNewSystemPanicsOnBadNodes(t *testing.T) {
+	for _, n := range []int{0, -3, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSystem(nodes=%d) should panic", n)
+				}
+			}()
+			NewSystem(Config{Nodes: n, L2: cache.Config{SizeBytes: 64, Ways: 1, BlockBytes: 64}})
+		}()
+	}
+}
+
+// Property: after any access sequence, directory state and cache contents
+// stay mutually consistent.
+func TestQuickInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewSystem(testConfig())
+		for _, op := range ops {
+			p := nodeset.NodeID(op % 4)
+			a := trace.Addr((op / 4) % 64)
+			k := Load
+			if op&0x1000 != 0 {
+				k = Store
+			}
+			s.Access(p, a, k)
+		}
+		return s.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a miss's Needed set always contains requester and home, and
+// the responder (when a node) is in the needed set.
+func TestQuickNeededContainsEssentials(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewSystem(testConfig())
+		for _, op := range ops {
+			p := nodeset.NodeID(op % 4)
+			a := trace.Addr((op / 4) % 64)
+			k := Load
+			kind := trace.GetShared
+			if op&0x1000 != 0 {
+				k = Store
+				kind = trace.GetExclusive
+			}
+			mi, miss := s.Access(p, a, k)
+			if !miss {
+				continue
+			}
+			need := mi.Needed(p, kind)
+			if !need.Contains(p) || !need.Contains(mi.Home) {
+				return false
+			}
+			if node, fromMem, none := mi.Responder(p); !fromMem && !none && !need.Contains(node) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

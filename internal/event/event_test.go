@@ -1,0 +1,148 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdering(t *testing.T) {
+	var l Loop
+	var got []int
+	l.At(30, func(Time) { got = append(got, 3) })
+	l.At(10, func(Time) { got = append(got, 1) })
+	l.At(20, func(Time) { got = append(got, 2) })
+	end := l.Run()
+	if end != 30 {
+		t.Errorf("end time = %d, want 30", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var l Loop
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		l.At(5, func(Time) { got = append(got, i) })
+	}
+	l.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestHandlerSchedulesMore(t *testing.T) {
+	var l Loop
+	count := 0
+	var tick Handler
+	tick = func(now Time) {
+		count++
+		if count < 5 {
+			l.After(10, tick)
+		}
+	}
+	l.At(0, tick)
+	end := l.Run()
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if end != 40 {
+		t.Errorf("end = %d, want 40", end)
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	var l Loop
+	var fired Time = -1
+	l.At(100, func(now Time) {
+		l.At(5, func(now Time) { fired = now }) // in the past
+	})
+	l.Run()
+	if fired != 100 {
+		t.Errorf("past event fired at %d, want clamped to 100", fired)
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	var l Loop
+	var fired Time
+	l.At(50, func(Time) {
+		l.After(25, func(now Time) { fired = now })
+	})
+	l.Run()
+	if fired != 75 {
+		t.Errorf("After fired at %d, want 75", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var l Loop
+	var got []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		l.At(at, func(now Time) { got = append(got, now) })
+	}
+	n := l.RunUntil(25)
+	if n != 2 || len(got) != 2 {
+		t.Errorf("RunUntil processed %d events (%v)", n, got)
+	}
+	if l.Now() != 25 {
+		t.Errorf("Now = %d, want 25", l.Now())
+	}
+	l.Run()
+	if len(got) != 4 {
+		t.Errorf("remaining events lost: %v", got)
+	}
+}
+
+func TestEmptyAndStep(t *testing.T) {
+	var l Loop
+	if !l.Empty() {
+		t.Error("new loop should be empty")
+	}
+	if l.Step() {
+		t.Error("Step on empty loop should report false")
+	}
+	l.At(1, func(Time) {})
+	if l.Empty() {
+		t.Error("loop with event should not be empty")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Nanosecond != 1000*Picosecond {
+		t.Error("time unit mismatch")
+	}
+	if got := (2500 * Picosecond).Nanoseconds(); got != 2.5 {
+		t.Errorf("Nanoseconds() = %v, want 2.5", got)
+	}
+}
+
+// Property: events always fire in non-decreasing time order.
+func TestQuickMonotonic(t *testing.T) {
+	f := func(times []int16) bool {
+		var l Loop
+		var fired []Time
+		for _, at := range times {
+			t := Time(at)
+			if t < 0 {
+				t = -t
+			}
+			l.At(t, func(now Time) { fired = append(fired, now) })
+		}
+		l.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(times)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation. Each harness regenerates the same rows or series
+// the paper reports:
+//
+//	Table 2    — workload properties (§2.2)
+//	Figure 2   — instantaneous sharing histogram (§2.4)
+//	Figure 3   — degree of sharing (§2.5)
+//	Figure 4   — temporal/spatial locality of sharing misses (§2.6)
+//	Figure 5   — predictor policy tradeoff, all workloads (§4.3)
+//	Figure 6   — OLTP sensitivity: PC indexing, macroblocks, size (§4.4)
+//	Figure 7   — runtime vs traffic, simple processor model (§5.3)
+//	Figure 8   — runtime vs traffic, detailed processor model (§5.3)
+//
+// The CLI tools in cmd/ and the repository benchmarks are thin wrappers
+// over these functions.
+package experiments
+
+import (
+	"fmt"
+
+	"destset/internal/coherence"
+	"destset/internal/nodeset"
+	"destset/internal/predictor"
+	"destset/internal/trace"
+	"destset/internal/workload"
+)
+
+// Options control experiment scale. The paper warms 1M misses and
+// measures millions; the defaults here are scaled down to run the full
+// suite in minutes while preserving every qualitative shape. Raise them
+// via the CLI flags for closer quantitative agreement.
+type Options struct {
+	// Seed drives all workload generation.
+	Seed uint64
+	// WarmMisses are generated before measurement to warm caches and
+	// predictors (§2.1).
+	WarmMisses int
+	// Misses are measured for the trace-driven experiments (§2, §4).
+	Misses int
+	// TimedWarmMisses and TimedMisses size the slower execution-driven
+	// runs (§5).
+	TimedWarmMisses int
+	// TimedMisses is the number of misses in the timed region.
+	TimedMisses int
+	// Workloads restricts the benchmark set (default: all six).
+	Workloads []string
+}
+
+// DefaultOptions returns the scale used for the committed EXPERIMENTS.md
+// results.
+func DefaultOptions() Options {
+	return Options{
+		Seed:            1,
+		WarmMisses:      300_000,
+		Misses:          300_000,
+		TimedWarmMisses: 100_000,
+		TimedMisses:     100_000,
+	}
+}
+
+// QuickOptions returns a reduced scale for tests and benchmarks.
+func QuickOptions() Options {
+	return Options{
+		Seed:            1,
+		WarmMisses:      40_000,
+		Misses:          40_000,
+		TimedWarmMisses: 15_000,
+		TimedMisses:     15_000,
+	}
+}
+
+func (o Options) workloads() ([]workload.Params, error) {
+	names := o.Workloads
+	if len(names) == 0 {
+		names = workload.Names()
+	}
+	out := make([]workload.Params, 0, len(names))
+	for _, n := range names {
+		p, err := workload.Preset(n, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Dataset is one workload's generated, annotated trace: the warm region,
+// the measured region and the oracle that produced them. Figures that
+// need the same workload share a dataset instead of regenerating.
+type Dataset struct {
+	Params    workload.Params
+	Warm      *trace.Trace
+	WarmInfos []coherence.MissInfo
+	Trace     *trace.Trace
+	Infos     []coherence.MissInfo
+	System    *coherence.System
+}
+
+// NewDataset generates a workload's dataset at the given scale.
+func NewDataset(p workload.Params, warm, measure int) (*Dataset, error) {
+	g, err := workload.New(p)
+	if err != nil {
+		return nil, err
+	}
+	wt, winfos := g.Generate(warm)
+	mt, infos := g.Generate(measure)
+	return &Dataset{
+		Params:    p,
+		Warm:      wt,
+		WarmInfos: winfos,
+		Trace:     mt,
+		Infos:     infos,
+		System:    g.System(),
+	}, nil
+}
+
+func (o Options) datasets() ([]*Dataset, error) {
+	params, err := o.workloads()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Dataset, 0, len(params))
+	for _, p := range params {
+		d, err := NewDataset(p, o.WarmMisses, o.Misses)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// standoutPredictors returns the paper's four policies at the standout
+// configuration (8192 entries, 1024-byte macroblocks, §4.3).
+func standoutPredictors(nodes int) []predictor.Config {
+	policies := []predictor.Policy{
+		predictor.Owner,
+		predictor.BroadcastIfShared,
+		predictor.Group,
+		predictor.OwnerGroup,
+	}
+	cfgs := make([]predictor.Config, len(policies))
+	for i, pol := range policies {
+		cfgs[i] = predictor.DefaultConfig(pol, nodes)
+	}
+	return cfgs
+}
+
+// requesterOf is a small helper shared by the harnesses.
+func requesterOf(rec trace.Record) nodeset.NodeID { return nodeset.NodeID(rec.Requester) }
+
+// validateScale rejects degenerate experiment sizes early.
+func (o Options) validate() error {
+	if o.Misses <= 0 || o.WarmMisses < 0 || o.TimedMisses <= 0 || o.TimedWarmMisses < 0 {
+		return fmt.Errorf("experiments: non-positive scale in %+v", o)
+	}
+	return nil
+}

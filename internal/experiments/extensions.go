@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+
+	"destset/internal/predictor"
+	"destset/internal/protocol"
+	"destset/internal/sim"
+)
+
+// The experiments in this file go beyond the paper's figures into the
+// questions the paper raises but does not plot:
+//
+//   - BandwidthSweep: §5.3 deliberately simulates "ample bandwidth" and
+//     notes that "which protocol performs best depends upon ... the
+//     available interconnect bandwidth". The sweep varies link bandwidth
+//     and locates the crossover where broadcast snooping stops winning.
+//   - HybridComparison: §1/§6 describe the alternative hybrid — Acacio et
+//     al.'s owner prediction on a plain directory protocol. The
+//     comparison puts both hybrids on the same trace.
+//   - OracleLimit: the realizable-prediction bound — a predictor that
+//     knows the exact needed set.
+//   - Ablations: design choices Table 3 fixes without justification
+//     (the 5-bit rollover counter, 4-way predictor tables).
+
+// BandwidthPoint is one protocol at one link bandwidth.
+type BandwidthPoint struct {
+	Config     string
+	BytesPerNs float64
+	RuntimeNs  float64
+}
+
+// BandwidthSweep runs snooping, directory and Multicast+Group over a
+// range of link bandwidths on one workload (default OLTP) with the simple
+// CPU model. At high bandwidth snooping wins on latency; as bandwidth
+// shrinks its broadcasts saturate the links and the bandwidth-efficient
+// protocols overtake it.
+func BandwidthSweep(opt Options, bandwidthsBytesPerNs []float64) ([]BandwidthPoint, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	name := "oltp"
+	if len(opt.Workloads) > 0 {
+		name = opt.Workloads[0]
+	}
+	o := opt
+	o.Workloads = []string{name}
+	params, err := o.workloads()
+	if err != nil {
+		return nil, err
+	}
+	d, err := NewDataset(params[0], opt.TimedWarmMisses, opt.TimedMisses)
+	if err != nil {
+		return nil, err
+	}
+	var out []BandwidthPoint
+	for _, bw := range bandwidthsBytesPerNs {
+		cfgs := []sim.Config{
+			sim.DefaultConfig(sim.Snooping),
+			sim.DefaultConfig(sim.Directory),
+		}
+		mc := sim.DefaultConfig(sim.Multicast)
+		mc.Predictor = predictor.DefaultConfig(predictor.Group, d.Params.Nodes)
+		cfgs = append(cfgs, mc)
+		for _, cfg := range cfgs {
+			cfg.Interconnect.BytesPerNs = bw
+			res, err := sim.Run(cfg, d.Warm, d.Trace)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, BandwidthPoint{
+				Config:     cfg.Name(),
+				BytesPerNs: bw,
+				RuntimeNs:  res.RuntimeNs,
+			})
+		}
+	}
+	return out, nil
+}
+
+// HybridComparison evaluates the two hybrid styles the paper's
+// introduction contrasts — multicast snooping with destination-set
+// prediction versus owner prediction on a directory protocol — against
+// the snooping and directory extremes, trace-driven on every selected
+// workload.
+func HybridComparison(opt Options) ([]WorkloadTradeoff, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	datasets, err := opt.datasets()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WorkloadTradeoff, 0, len(datasets))
+	for _, d := range datasets {
+		nodes := d.Params.Nodes
+		ownerCfg := predictor.DefaultConfig(predictor.Owner, nodes)
+		wt := WorkloadTradeoff{Workload: d.Params.Name}
+		wt.Points = append(wt.Points,
+			evalEngine(d, protocol.NewSnooping(nodes)),
+			evalEngine(d, protocol.NewDirectory()),
+			evalEngine(d, protocol.NewPredictiveDirectory(predictor.NewBank(ownerCfg))),
+			evalEngine(d, protocol.NewMulticast(predictor.NewBank(ownerCfg))),
+		)
+		out = append(out, wt)
+	}
+	return out, nil
+}
+
+// OracleLimit reports the perfect-prediction bound next to the best
+// realizable predictors on each workload: exact needed sets, zero
+// retries.
+func OracleLimit(opt Options) ([]WorkloadTradeoff, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	datasets, err := opt.datasets()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WorkloadTradeoff, 0, len(datasets))
+	for _, d := range datasets {
+		nodes := d.Params.Nodes
+		wt := WorkloadTradeoff{Workload: d.Params.Name}
+		wt.Points = append(wt.Points,
+			evalEngine(d, protocol.NewMulticast(predictor.NewBank(predictor.Config{
+				Policy: predictor.Oracle, Nodes: nodes,
+			}))),
+			evalEngine(d, protocol.NewMulticast(predictor.NewBank(predictor.DefaultConfig(predictor.OwnerGroup, nodes)))),
+			evalEngine(d, protocol.NewMulticast(predictor.NewBank(predictor.DefaultConfig(predictor.Group, nodes)))),
+		)
+		out = append(out, wt)
+	}
+	return out, nil
+}
+
+// AblationRollover sweeps the Group policy's rollover (training-down)
+// counter limit on OLTP. The paper fixes it at 32 (a 5-bit counter);
+// the sweep shows the tradeoff it balances: fast decay evicts live
+// sharers (more retries), slow decay keeps dead ones (more traffic).
+func AblationRollover(opt Options, limits []int) ([]TradeoffPoint, error) {
+	d, err := sensitivityWorkload(opt)
+	if err != nil {
+		return nil, err
+	}
+	points := baselines(d)
+	for _, lim := range limits {
+		cfg := predictor.DefaultConfig(predictor.Group, d.Params.Nodes)
+		cfg.GroupRollover = lim
+		pt := evalPredictor(d, cfg)
+		pt.Config += fmt.Sprintf("/roll%d", lim)
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// AblationAssociativity sweeps predictor-table associativity at fixed
+// capacity on OLTP. The paper notes macroblock indexing "allows
+// set-associative implementations" (§3.5); the sweep quantifies what
+// associativity buys over direct-mapped tables.
+func AblationAssociativity(opt Options, ways []int) ([]TradeoffPoint, error) {
+	d, err := sensitivityWorkload(opt)
+	if err != nil {
+		return nil, err
+	}
+	points := baselines(d)
+	for _, w := range ways {
+		cfg := predictor.DefaultConfig(predictor.OwnerGroup, d.Params.Nodes)
+		cfg.Ways = w
+		pt := evalPredictor(d, cfg)
+		pt.Config += fmt.Sprintf("/ways%d", w)
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// MacroblockSweep extends Figure 6(b) with larger macroblocks, verifying
+// the paper's remark that sizes beyond 1024 bytes add little (§4.4).
+func MacroblockSweep(opt Options, sizes []int) ([]TradeoffPoint, error) {
+	d, err := sensitivityWorkload(opt)
+	if err != nil {
+		return nil, err
+	}
+	points := baselines(d)
+	for _, mb := range sizes {
+		cfg := predictor.Config{
+			Policy:   predictor.OwnerGroup,
+			Nodes:    d.Params.Nodes,
+			Entries:  0,
+			Indexing: predictor.Indexing{Mode: predictor.ByBlock, MacroblockBytes: mb},
+		}
+		points = append(points, evalPredictor(d, cfg))
+	}
+	return points, nil
+}

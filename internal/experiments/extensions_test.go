@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBandwidthSweepCrossover(t *testing.T) {
+	// With ample bandwidth snooping beats directory; when links are
+	// scarce, broadcast traffic saturates them and the ordering flips.
+	opt := quick(t)
+	opt.Workloads = []string{"oltp"}
+	pts, err := BandwidthSweep(opt, []float64{0.3, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime := func(bw float64, cfg string) float64 {
+		for _, p := range pts {
+			if p.BytesPerNs == bw && strings.Contains(p.Config, cfg) {
+				return p.RuntimeNs
+			}
+		}
+		t.Fatalf("missing point %v/%s", bw, cfg)
+		return 0
+	}
+	if runtime(10, "snooping") >= runtime(10, "directory") {
+		t.Error("at 10 B/ns snooping should beat directory")
+	}
+	if runtime(0.3, "snooping") <= runtime(0.3, "directory") {
+		t.Errorf("at 0.3 B/ns directory (%.0f ns) should beat snooping (%.0f ns)",
+			runtime(0.3, "directory"), runtime(0.3, "snooping"))
+	}
+	// The predictor-based protocol should track the better extreme at
+	// both ends (within slack): that is the point of the hybrid.
+	for _, bw := range []float64{0.3, 10} {
+		best := runtime(bw, "snooping")
+		if d := runtime(bw, "directory"); d < best {
+			best = d
+		}
+		if g := runtime(bw, "Group"); g > best*1.35 {
+			t.Errorf("at %v B/ns Multicast+Group (%.0f ns) is far from the better extreme (%.0f ns)",
+				bw, g, best)
+		}
+	}
+}
+
+func TestHybridComparisonShape(t *testing.T) {
+	// Both hybrids must cut directory indirections; multicast snooping
+	// converts them to snoop-direct transfers while the predictive
+	// directory only converts 3-hop to 2-hop, so both remain cheap in
+	// bandwidth relative to snooping.
+	opt := quick(t)
+	opt.Workloads = []string{"oltp"}
+	panels, err := HybridComparison(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := panels[0]
+	dir := findPoint(t, p.Points, "Directory")
+	acacio := findPoint(t, p.Points, "PredictiveDirectory")
+	mcast := findPoint(t, p.Points, "Multicast+Owner")
+	snoop := findPoint(t, p.Points, "Snooping")
+	if acacio.IndirectionPct >= dir.IndirectionPct*0.7 {
+		t.Errorf("predictive directory %.1f%% vs directory %.1f%%: expected a large cut",
+			acacio.IndirectionPct, dir.IndirectionPct)
+	}
+	if mcast.IndirectionPct >= dir.IndirectionPct*0.7 {
+		t.Errorf("multicast %.1f%% vs directory %.1f%%: expected a large cut",
+			mcast.IndirectionPct, dir.IndirectionPct)
+	}
+	for _, pt := range []TradeoffPoint{acacio, mcast} {
+		if pt.MsgsPerMiss > snoop.MsgsPerMiss/2 {
+			t.Errorf("%s traffic %.2f should stay far below snooping", pt.Config, pt.MsgsPerMiss)
+		}
+	}
+}
+
+func TestOracleLimitBoundsRealPredictors(t *testing.T) {
+	opt := quick(t)
+	opt.Workloads = []string{"apache"}
+	panels, err := OracleLimit(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := panels[0]
+	oracle := findPoint(t, p.Points, "Oracle")
+	if oracle.IndirectionPct != 0 {
+		t.Errorf("oracle indirections %.2f%%, want 0", oracle.IndirectionPct)
+	}
+	for _, pt := range p.Points[1:] {
+		if pt.MsgsPerMiss < oracle.MsgsPerMiss-0.2 {
+			t.Errorf("%s traffic %.2f below the oracle's %.2f: impossible",
+				pt.Config, pt.MsgsPerMiss, oracle.MsgsPerMiss)
+		}
+	}
+}
+
+func TestAblationRolloverTradeoff(t *testing.T) {
+	// Faster decay (small limit) must not use more traffic than slower
+	// decay; slower decay must not retry more. (Each bound with slack —
+	// the point is the direction of the tradeoff.)
+	opt := mid(t)
+	pts, err := AblationRollover(opt, []int{4, 32, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := findPoint(t, pts, "/roll4")
+	slow := findPoint(t, pts, "/roll256")
+	if fast.MsgsPerMiss > slow.MsgsPerMiss+0.2 {
+		t.Errorf("fast decay traffic %.2f should not exceed slow decay %.2f",
+			fast.MsgsPerMiss, slow.MsgsPerMiss)
+	}
+	if slow.IndirectionPct > fast.IndirectionPct+2 {
+		t.Errorf("slow decay indirections %.1f%% should not exceed fast decay %.1f%%",
+			slow.IndirectionPct, fast.IndirectionPct)
+	}
+}
+
+func TestAblationAssociativity(t *testing.T) {
+	// More ways reduce conflict evictions, so indirections must not grow
+	// with associativity.
+	opt := quick(t)
+	pts, err := AblationAssociativity(opt, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := findPoint(t, pts, "/ways1")
+	sa := findPoint(t, pts, "/ways4")
+	if sa.IndirectionPct > dm.IndirectionPct+2 {
+		t.Errorf("4-way %.1f%% indirections vs direct-mapped %.1f%%",
+			sa.IndirectionPct, dm.IndirectionPct)
+	}
+}
+
+func TestMacroblockSweepSaturates(t *testing.T) {
+	// §4.4: beyond 1024-byte macroblocks there is little additional
+	// benefit for unbounded predictors.
+	opt := quick(t)
+	pts, err := MacroblockSweep(opt, []int{1024, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at1k := findPoint(t, pts, "OwnerGroup[1024B")
+	at4k := findPoint(t, pts, "OwnerGroup[4096B")
+	if at4k.IndirectionPct < at1k.IndirectionPct-5 {
+		t.Errorf("4096B (%.1f%%) should not be much better than 1024B (%.1f%%)",
+			at4k.IndirectionPct, at1k.IndirectionPct)
+	}
+}

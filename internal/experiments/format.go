@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"destset/internal/stats"
+)
+
+// FormatTable2 renders the Table 2 reproduction.
+func FormatTable2(cs []Characterization) string {
+	tbl := stats.NewTable("workload", "touched 64B (MB)", "touched 1KB (MB)",
+		"static miss PCs", "misses", "misses/1k instr", "dir indirections %")
+	for _, c := range cs {
+		tbl.AddRow(c.Workload, c.TouchedMB64, c.TouchedMB1024, c.StaticPCs,
+			c.Misses, c.MPKI, c.DirIndirectPc)
+	}
+	return "Table 2: workload properties\n" + tbl.String()
+}
+
+// FormatFigure2 renders the instantaneous-sharing histogram.
+func FormatFigure2(cs []Characterization) string {
+	tbl := stats.NewTable("workload", "kind", "0", "1", "2", "3+")
+	for _, c := range cs {
+		tbl.AddRow(c.Workload, "reads", c.ReadsMustSee[0], c.ReadsMustSee[1], c.ReadsMustSee[2], c.ReadsMustSee[3])
+		tbl.AddRow(c.Workload, "writes", c.WritesMustSee[0], c.WritesMustSee[1], c.WritesMustSee[2], c.WritesMustSee[3])
+	}
+	return "Figure 2: percent of misses that must be seen by n other processors\n" + tbl.String()
+}
+
+// FormatFigure3 renders the degree-of-sharing histograms, bucketed like
+// the paper's x-axis.
+func FormatFigure3(cs []Characterization) string {
+	var b strings.Builder
+	b.WriteString("Figure 3: blocks (a) and misses (b) by number of touching processors\n")
+	tbl := stats.NewTable("workload", "series", "1", "2-4", "5-8", "9-12", "13-16")
+	bucket := func(v []float64) [5]float64 {
+		var out [5]float64
+		for n := 1; n < len(v); n++ {
+			switch {
+			case n == 1:
+				out[0] += v[n]
+			case n <= 4:
+				out[1] += v[n]
+			case n <= 8:
+				out[2] += v[n]
+			case n <= 12:
+				out[3] += v[n]
+			default:
+				out[4] += v[n]
+			}
+		}
+		return out
+	}
+	for _, c := range cs {
+		bl := bucket(c.BlocksTouchedBy)
+		ms := bucket(c.MissesTouchedBy)
+		tbl.AddRow(c.Workload, "blocks%", bl[0], bl[1], bl[2], bl[3], bl[4])
+		tbl.AddRow(c.Workload, "misses%", ms[0], ms[1], ms[2], ms[3], ms[4])
+	}
+	b.WriteString(tbl.String())
+	return b.String()
+}
+
+// FormatFigure4 renders the locality CDFs at the standard curve points.
+func FormatFigure4(cs []Characterization) string {
+	var b strings.Builder
+	b.WriteString("Figure 4: cumulative percent of cache-to-cache misses vs hottest N keys\n")
+	header := []string{"workload", "series"}
+	for _, n := range LocalityCurvePoints {
+		header = append(header, fmt.Sprintf("%d", n))
+	}
+	tbl := stats.NewTable(header...)
+	addRow := func(name, series string, vals []float64) {
+		row := []interface{}{name, series}
+		for _, v := range vals {
+			row = append(row, v)
+		}
+		tbl.AddRow(row...)
+	}
+	for _, c := range cs {
+		addRow(c.Workload, "blocks(64B)", c.C2CByHotBlocks)
+		addRow(c.Workload, "macroblocks(1KB)", c.C2CByHotMacroblocks)
+		addRow(c.Workload, "instructions", c.C2CByHotPCs)
+	}
+	b.WriteString(tbl.String())
+	return b.String()
+}
+
+// FormatTradeoff renders Figure 5/6 panels.
+func FormatTradeoff(title string, panels []WorkloadTradeoff) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	tbl := stats.NewTable("workload", "config", "req msgs/miss", "indirections %", "bytes/miss")
+	for _, p := range panels {
+		for _, pt := range p.Points {
+			tbl.AddRow(p.Workload, pt.Config, pt.MsgsPerMiss, pt.IndirectionPct, pt.BytesPerMiss)
+		}
+	}
+	b.WriteString(tbl.String())
+	return b.String()
+}
+
+// FormatTradeoffPoints renders a single-workload sensitivity panel.
+func FormatTradeoffPoints(title, workload string, pts []TradeoffPoint) string {
+	return FormatTradeoff(title, []WorkloadTradeoff{{Workload: workload, Points: pts}})
+}
+
+// FormatTiming renders Figure 7/8 panels.
+func FormatTiming(title string, panels []WorkloadTiming) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	tbl := stats.NewTable("workload", "config", "norm runtime", "norm traffic/miss",
+		"runtime (us)", "bytes/miss", "avg miss lat (ns)")
+	for _, p := range panels {
+		for _, pt := range p.Points {
+			tbl.AddRow(p.Workload, pt.Config, pt.NormRuntime, pt.NormTraffic,
+				pt.RuntimeNs/1000, pt.BytesPerMiss, pt.AvgLatencyNs)
+		}
+	}
+	b.WriteString(tbl.String())
+	return b.String()
+}

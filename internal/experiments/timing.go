@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"destset/internal/predictor"
+	"destset/internal/sim"
+)
+
+// TimingPoint is one point on the Figure 7/8 plane: runtime normalized to
+// the directory protocol (y) versus traffic per miss normalized to
+// broadcast snooping (x).
+type TimingPoint struct {
+	Config       string
+	NormRuntime  float64 // directory = 100
+	NormTraffic  float64 // snooping = 100
+	RuntimeNs    float64
+	BytesPerMiss float64
+	AvgLatencyNs float64
+}
+
+// WorkloadTiming is one workload's Figure 7/8 panel.
+type WorkloadTiming struct {
+	Workload string
+	Points   []TimingPoint
+}
+
+// timingConfigs builds the six protocol configurations of Figures 7/8.
+func timingConfigs(cpu sim.CPUModel, nodes int) []sim.Config {
+	cfgs := []sim.Config{
+		sim.DefaultConfig(sim.Snooping),
+		sim.DefaultConfig(sim.Directory),
+	}
+	for _, pol := range []predictor.Policy{
+		predictor.Owner,
+		predictor.BroadcastIfShared,
+		predictor.Group,
+		predictor.OwnerGroup,
+	} {
+		c := sim.DefaultConfig(sim.Multicast)
+		c.Predictor = predictor.DefaultConfig(pol, nodes)
+		cfgs = append(cfgs, c)
+	}
+	for i := range cfgs {
+		cfgs[i].CPU = cpu
+	}
+	return cfgs
+}
+
+// runTiming executes all configurations over one workload and normalizes
+// as the paper does (runtime to directory, traffic to snooping).
+func runTiming(opt Options, name string, cpu sim.CPUModel) (WorkloadTiming, error) {
+	o := opt
+	o.Workloads = []string{name}
+	params, err := o.workloads()
+	if err != nil {
+		return WorkloadTiming{}, err
+	}
+	d, err := NewDataset(params[0], opt.TimedWarmMisses, opt.TimedMisses)
+	if err != nil {
+		return WorkloadTiming{}, err
+	}
+	wt := WorkloadTiming{Workload: name}
+	var dirRuntime, snoopTraffic float64
+	for _, cfg := range timingConfigs(cpu, d.Params.Nodes) {
+		res, err := sim.Run(cfg, d.Warm, d.Trace)
+		if err != nil {
+			return WorkloadTiming{}, err
+		}
+		pt := TimingPoint{
+			Config:       cfg.Name(),
+			RuntimeNs:    res.RuntimeNs,
+			BytesPerMiss: res.BytesPerMiss(),
+			AvgLatencyNs: res.AvgMissLatencyNs,
+		}
+		switch cfg.Protocol {
+		case sim.Directory:
+			dirRuntime = res.RuntimeNs
+		case sim.Snooping:
+			snoopTraffic = res.BytesPerMiss()
+		}
+		wt.Points = append(wt.Points, pt)
+	}
+	for i := range wt.Points {
+		if dirRuntime > 0 {
+			wt.Points[i].NormRuntime = 100 * wt.Points[i].RuntimeNs / dirRuntime
+		}
+		if snoopTraffic > 0 {
+			wt.Points[i].NormTraffic = 100 * wt.Points[i].BytesPerMiss / snoopTraffic
+		}
+	}
+	return wt, nil
+}
+
+// Figure7 reproduces the simple-processor-model runtime results for all
+// workloads (§5.3).
+func Figure7(opt Options) ([]WorkloadTiming, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	params, err := opt.workloads()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WorkloadTiming, 0, len(params))
+	for _, p := range params {
+		wt, err := runTiming(opt, p.Name, sim.SimpleCPU)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, wt)
+	}
+	return out, nil
+}
+
+// Figure8Workloads are the three workloads the paper ran under the
+// detailed processor model (simulation cost forced the reduction, §5.3).
+var Figure8Workloads = []string{"apache", "oltp", "specjbb"}
+
+// Figure8 reproduces the detailed-processor-model results (§5.3).
+func Figure8(opt Options) ([]WorkloadTiming, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	names := opt.Workloads
+	if len(names) == 0 {
+		names = Figure8Workloads
+	}
+	out := make([]WorkloadTiming, 0, len(names))
+	for _, n := range names {
+		wt, err := runTiming(opt, n, sim.DetailedCPU)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, wt)
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"destset/internal/predictor"
+	"destset/internal/protocol"
+	"destset/internal/trace"
+)
+
+// TradeoffPoint is one point on the latency/bandwidth plane of Figures 5
+// and 6: request messages per miss (x) versus percent of misses that
+// indirect (y).
+type TradeoffPoint struct {
+	Config         string
+	MsgsPerMiss    float64
+	IndirectionPct float64
+	BytesPerMiss   float64
+}
+
+// WorkloadTradeoff is one workload's Figure 5 panel.
+type WorkloadTradeoff struct {
+	Workload string
+	Points   []TradeoffPoint
+}
+
+// evalEngine replays a dataset through an engine: the warm region trains
+// predictors without being measured, then the measured region is
+// accounted.
+func evalEngine(d *Dataset, eng protocol.Engine) TradeoffPoint {
+	for i, rec := range d.Warm.Records {
+		eng.Process(rec, d.WarmInfos[i])
+	}
+	var tot protocol.Totals
+	for i, rec := range d.Trace.Records {
+		tot.Add(eng.Process(rec, d.Infos[i]))
+	}
+	return TradeoffPoint{
+		Config:         eng.Name(),
+		MsgsPerMiss:    tot.RequestMsgsPerMiss(),
+		IndirectionPct: tot.IndirectionPercent(),
+		BytesPerMiss:   tot.BytesPerMiss(),
+	}
+}
+
+// Figure5 reproduces the standout predictor comparison: snooping,
+// directory and the four policies at 8192 entries with 1024-byte
+// macroblock indexing, for every workload (§4.3).
+func Figure5(opt Options) ([]WorkloadTradeoff, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	datasets, err := opt.datasets()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WorkloadTradeoff, 0, len(datasets))
+	for _, d := range datasets {
+		wt := WorkloadTradeoff{Workload: d.Params.Name}
+		wt.Points = append(wt.Points,
+			evalEngine(d, protocol.NewSnooping(d.Params.Nodes)),
+			evalEngine(d, protocol.NewDirectory()),
+		)
+		for _, pc := range standoutPredictors(d.Params.Nodes) {
+			wt.Points = append(wt.Points, evalEngine(d, protocol.NewMulticast(predictor.NewBank(pc))))
+		}
+		out = append(out, wt)
+	}
+	return out, nil
+}
+
+// sensitivityWorkload returns the Figure 6 dataset (OLTP in the paper).
+func sensitivityWorkload(opt Options) (*Dataset, error) {
+	opt.Workloads = []string{"oltp"}
+	datasets, err := opt.datasets()
+	if err != nil {
+		return nil, err
+	}
+	return datasets[0], nil
+}
+
+// policies under sensitivity study, in the paper's legend order.
+var sensitivityPolicies = []predictor.Policy{
+	predictor.Owner,
+	predictor.BroadcastIfShared,
+	predictor.Group,
+	predictor.OwnerGroup,
+}
+
+func evalPredictor(d *Dataset, cfg predictor.Config) TradeoffPoint {
+	return evalEngine(d, protocol.NewMulticast(predictor.NewBank(cfg)))
+}
+
+func baselines(d *Dataset) []TradeoffPoint {
+	return []TradeoffPoint{
+		evalEngine(d, protocol.NewSnooping(d.Params.Nodes)),
+		evalEngine(d, protocol.NewDirectory()),
+	}
+}
+
+// Figure6a compares data-block (64B) and PC indexing with unbounded
+// predictors on OLTP (§4.4).
+func Figure6a(opt Options) ([]TradeoffPoint, error) {
+	d, err := sensitivityWorkload(opt)
+	if err != nil {
+		return nil, err
+	}
+	points := baselines(d)
+	for _, pol := range sensitivityPolicies {
+		for _, ix := range []predictor.Indexing{
+			{Mode: predictor.ByBlock, MacroblockBytes: trace.BlockBytes},
+			{Mode: predictor.ByPC},
+		} {
+			cfg := predictor.Config{Policy: pol, Nodes: d.Params.Nodes, Entries: 0, Indexing: ix}
+			points = append(points, evalPredictor(d, cfg))
+		}
+	}
+	return points, nil
+}
+
+// Figure6b compares 64B, 256B and 1024B macroblock indexing with
+// unbounded predictors on OLTP (§4.4).
+func Figure6b(opt Options) ([]TradeoffPoint, error) {
+	d, err := sensitivityWorkload(opt)
+	if err != nil {
+		return nil, err
+	}
+	points := baselines(d)
+	for _, pol := range sensitivityPolicies {
+		for _, mb := range []int{64, 256, 1024} {
+			cfg := predictor.Config{
+				Policy:   pol,
+				Nodes:    d.Params.Nodes,
+				Entries:  0,
+				Indexing: predictor.Indexing{Mode: predictor.ByBlock, MacroblockBytes: mb},
+			}
+			points = append(points, evalPredictor(d, cfg))
+		}
+	}
+	return points, nil
+}
+
+// Figure6c compares unbounded, 32768-entry and 8192-entry predictors
+// (1024B macroblocks) and the prior-work StickySpatial(1) baseline across
+// sizes, on OLTP (§4.4).
+func Figure6c(opt Options) ([]TradeoffPoint, error) {
+	d, err := sensitivityWorkload(opt)
+	if err != nil {
+		return nil, err
+	}
+	points := baselines(d)
+	for _, pol := range sensitivityPolicies {
+		for _, entries := range []int{0, 32768, 8192} {
+			cfg := predictor.Config{
+				Policy:   pol,
+				Nodes:    d.Params.Nodes,
+				Entries:  entries,
+				Ways:     4,
+				Indexing: predictor.Indexing{Mode: predictor.ByBlock, MacroblockBytes: trace.MacroblockBytes},
+			}
+			points = append(points, evalPredictor(d, cfg))
+		}
+	}
+	for _, entries := range []int{4096, 8192, 32768} {
+		cfg := predictor.Config{
+			Policy:   predictor.StickySpatial,
+			Nodes:    d.Params.Nodes,
+			Entries:  entries,
+			Indexing: predictor.Indexing{Mode: predictor.ByBlock, MacroblockBytes: trace.BlockBytes},
+		}
+		points = append(points, evalPredictor(d, cfg))
+	}
+	return points, nil
+}

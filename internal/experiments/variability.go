@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"math"
+
+	"destset/internal/sim"
+)
+
+// The paper addresses the runtime variability of commercial workloads by
+// simulating each design point multiple times with small pseudo-random
+// perturbations and reporting averages (§5.2, following Alameldeen et
+// al.). This file provides that methodology: the same experiment run at
+// several seeds, reported as mean and standard deviation.
+
+// VariabilityPoint is one configuration measured across runs.
+type VariabilityPoint struct {
+	Config        string
+	Runs          int
+	MeanRuntimeNs float64
+	StddevNs      float64
+	// CoeffVar is the coefficient of variation (stddev/mean); the
+	// methodology's check that run-to-run noise is small relative to the
+	// protocol effects being measured.
+	CoeffVar float64
+	MeanBPM  float64 // mean bytes per miss
+}
+
+// MeanStddev returns the sample mean and (population) standard deviation.
+func MeanStddev(xs []float64) (mean, stddev float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)))
+}
+
+// Figure7Variability runs the Figure 7 protocol comparison on one
+// workload across `runs` perturbed seeds and reports per-configuration
+// means and deviations. The perturbation regenerates the workload with a
+// different seed, which shifts unit layout, group membership and access
+// interleaving — the analogue of the paper's small timing perturbations.
+func Figure7Variability(opt Options, workloadName string, runs int) ([]VariabilityPoint, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	cfgs := timingConfigs(sim.SimpleCPU, 16)
+	runtimes := make(map[string][]float64, len(cfgs))
+	traffic := make(map[string][]float64, len(cfgs))
+	order := make([]string, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		order = append(order, cfg.Name())
+	}
+
+	for r := 0; r < runs; r++ {
+		o := opt
+		o.Seed = opt.Seed + uint64(r)
+		o.Workloads = []string{workloadName}
+		params, err := o.workloads()
+		if err != nil {
+			return nil, err
+		}
+		d, err := NewDataset(params[0], opt.TimedWarmMisses, opt.TimedMisses)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range cfgs {
+			res, err := sim.Run(cfg, d.Warm, d.Trace)
+			if err != nil {
+				return nil, err
+			}
+			runtimes[cfg.Name()] = append(runtimes[cfg.Name()], res.RuntimeNs)
+			traffic[cfg.Name()] = append(traffic[cfg.Name()], res.BytesPerMiss())
+		}
+	}
+
+	out := make([]VariabilityPoint, 0, len(order))
+	for _, name := range order {
+		mean, stddev := MeanStddev(runtimes[name])
+		bpm, _ := MeanStddev(traffic[name])
+		cv := 0.0
+		if mean > 0 {
+			cv = stddev / mean
+		}
+		out = append(out, VariabilityPoint{
+			Config:        name,
+			Runs:          runs,
+			MeanRuntimeNs: mean,
+			StddevNs:      stddev,
+			CoeffVar:      cv,
+			MeanBPM:       bpm,
+		})
+	}
+	return out, nil
+}

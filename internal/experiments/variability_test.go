@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanStddev(t *testing.T) {
+	mean, sd := MeanStddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 {
+		t.Errorf("mean = %v, want 5", mean)
+	}
+	if math.Abs(sd-2) > 1e-12 {
+		t.Errorf("stddev = %v, want 2", sd)
+	}
+	if m, s := MeanStddev(nil); m != 0 || s != 0 {
+		t.Error("empty input should return zeros")
+	}
+	if m, s := MeanStddev([]float64{3}); m != 3 || s != 0 {
+		t.Errorf("single input: %v/%v", m, s)
+	}
+}
+
+func TestFigure7VariabilityAveragesStayOrdered(t *testing.T) {
+	// The §5.2 methodology: protocol effects must dominate run-to-run
+	// noise. Across perturbed runs, mean snooping runtime stays below
+	// mean directory runtime, and the noise (CV) stays small.
+	opt := quick(t)
+	opt.TimedWarmMisses = 8000
+	opt.TimedMisses = 8000
+	pts, err := Figure7Variability(opt, "oltp", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]VariabilityPoint{}
+	for _, p := range pts {
+		byName[p.Config] = p
+		if p.Runs != 3 {
+			t.Errorf("%s: runs = %d", p.Config, p.Runs)
+		}
+		if p.CoeffVar > 0.10 {
+			t.Errorf("%s: coefficient of variation %.3f too large", p.Config, p.CoeffVar)
+		}
+	}
+	snoop := byName["snooping"]
+	dir := byName["directory"]
+	if snoop.MeanRuntimeNs >= dir.MeanRuntimeNs {
+		t.Errorf("mean snooping %.0f should beat mean directory %.0f",
+			snoop.MeanRuntimeNs, dir.MeanRuntimeNs)
+	}
+	// Difference between protocols must exceed the noise band: the whole
+	// point of averaging perturbed runs.
+	if dir.MeanRuntimeNs-snoop.MeanRuntimeNs < 2*(dir.StddevNs+snoop.StddevNs) {
+		t.Errorf("protocol effect (%.0f) not separable from noise (%.0f/%.0f)",
+			dir.MeanRuntimeNs-snoop.MeanRuntimeNs, dir.StddevNs, snoop.StddevNs)
+	}
+}
+
+func TestFigure7VariabilitySingleRun(t *testing.T) {
+	opt := quick(t)
+	opt.TimedWarmMisses = 4000
+	opt.TimedMisses = 4000
+	pts, err := Figure7Variability(opt, "ocean", 0) // clamps to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Runs != 1 || p.StddevNs != 0 {
+			t.Errorf("%s: single run should have zero stddev: %+v", p.Config, p)
+		}
+	}
+}

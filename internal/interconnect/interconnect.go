@@ -1,0 +1,145 @@
+// Package interconnect models the totally-ordered interconnect of the
+// paper's target system (§5.1/§5.2): processor/memory nodes connected by
+// single physical links to one crossbar switch.
+//
+// All three protocols the paper compares (broadcast snooping, directory
+// and multicast snooping) require a total order of requests, which the
+// crossbar provides: every message is ordered at the instant it reaches
+// the switch, and deliveries follow in that order. The model charges
+//
+//   - serialization on the sender's egress link (size / bandwidth),
+//   - half the traversal latency to the switch (ordering point),
+//   - serialization on each receiver's ingress link — so a broadcast
+//     consumes end-point bandwidth at every node, the §1 argument for why
+//     broadcast does not scale,
+//   - half the traversal latency to the receiver.
+//
+// Links are FIFO resources; contention queues messages and is the
+// mechanism that lets bandwidth-hungry protocols slow themselves down.
+package interconnect
+
+import (
+	"fmt"
+
+	"destset/internal/event"
+	"destset/internal/nodeset"
+)
+
+// Config describes the interconnect, defaulting to the paper's Table 4
+// parameters via DefaultConfig.
+type Config struct {
+	// Nodes is the number of endpoints.
+	Nodes int
+	// BytesPerNs is the link bandwidth (10 GB/s = 10 bytes/ns).
+	BytesPerNs float64
+	// Traversal is the total unloaded node-to-node latency (50 ns),
+	// charged half to reach the switch and half to leave it.
+	Traversal event.Time
+}
+
+// DefaultConfig is the paper's interconnect: 10 GB/s links, 50 ns
+// traversal.
+func DefaultConfig(nodes int) Config {
+	return Config{Nodes: nodes, BytesPerNs: 10, Traversal: 50 * event.Nanosecond}
+}
+
+// Message is a multicast message in flight.
+type Message struct {
+	From  nodeset.NodeID
+	To    nodeset.Set // destinations; may include From (self-delivery)
+	Bytes int
+	// Payload is opaque protocol state carried to the handlers.
+	Payload interface{}
+}
+
+// link is a FIFO serialization resource.
+type link struct {
+	freeAt event.Time
+}
+
+// acquire occupies the link for size bytes starting no earlier than now
+// and returns the start time. The link is cut-through: the head flit
+// proceeds at the start time while serialization continues to occupy the
+// link's bandwidth behind it, so unloaded latency is pure traversal time
+// and contention appears as queuing delay.
+func (l *link) acquire(now event.Time, bytes int, bytesPerNs float64) event.Time {
+	start := now
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	l.freeAt = start + event.Time(float64(bytes)/bytesPerNs*float64(event.Nanosecond))
+	return start
+}
+
+// Crossbar is the switch plus all node links.
+type Crossbar struct {
+	cfg     Config
+	loop    *event.Loop
+	egress  []link
+	ingress []link
+	seq     uint64
+
+	// OnOrdered is invoked at the instant a message is ordered at the
+	// switch, with its global sequence number. Protocol engines commit
+	// coherence-state transitions here.
+	OnOrdered func(now event.Time, seq uint64, msg *Message)
+	// OnDeliver is invoked when a message copy reaches one destination.
+	OnDeliver func(now event.Time, dst nodeset.NodeID, msg *Message)
+
+	// statistics
+	totalBytes    uint64
+	totalMessages uint64
+}
+
+// New builds a crossbar bound to an event loop.
+func New(cfg Config, loop *event.Loop) *Crossbar {
+	if cfg.Nodes <= 0 || cfg.Nodes > nodeset.MaxNodes {
+		panic(fmt.Sprintf("interconnect: bad node count %d", cfg.Nodes))
+	}
+	if cfg.BytesPerNs <= 0 {
+		panic("interconnect: bandwidth must be positive")
+	}
+	return &Crossbar{
+		cfg:     cfg,
+		loop:    loop,
+		egress:  make([]link, cfg.Nodes),
+		ingress: make([]link, cfg.Nodes),
+	}
+}
+
+// Send injects a message. The sender's egress link serializes it once
+// (the crossbar replicates multicasts); each destination's ingress link
+// serializes its own copy, charging end-point bandwidth per destination.
+func (x *Crossbar) Send(msg *Message) {
+	if msg.To.Empty() {
+		return
+	}
+	half := x.cfg.Traversal / 2
+	atSwitch := x.egress[msg.From].acquire(x.loop.Now(), msg.Bytes, x.cfg.BytesPerNs) + half
+	x.loop.At(atSwitch, func(now event.Time) {
+		x.seq++
+		seq := x.seq
+		x.totalMessages++
+		x.totalBytes += uint64(msg.Bytes) * uint64(msg.To.Count())
+		if x.OnOrdered != nil {
+			x.OnOrdered(now, seq, msg)
+		}
+		msg.To.ForEach(func(dst nodeset.NodeID) {
+			done := x.ingress[dst].acquire(now, msg.Bytes, x.cfg.BytesPerNs) + half
+			x.loop.At(done, func(now event.Time) {
+				if x.OnDeliver != nil {
+					x.OnDeliver(now, dst, msg)
+				}
+			})
+		})
+	})
+}
+
+// Stats returns total messages ordered and total end-point bytes
+// delivered (each destination copy counted).
+func (x *Crossbar) Stats() (messages, bytes uint64) {
+	return x.totalMessages, x.totalBytes
+}
+
+// Config returns the interconnect configuration.
+func (x *Crossbar) Config() Config { return x.cfg }

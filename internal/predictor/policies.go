@@ -1,0 +1,290 @@
+package predictor
+
+import (
+	"destset/internal/nodeset"
+	"destset/internal/trace"
+)
+
+// Two-bit saturating counter helpers (Table 3 uses 2-bit counters with a
+// "predict when > 1" threshold throughout).
+
+func inc2(c uint8) uint8 {
+	if c < 3 {
+		return c + 1
+	}
+	return c
+}
+
+func dec2(c uint8) uint8 {
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------
+// Owner (Table 3, column 1)
+
+// ownerEntry records the last processor observed to invalidate or respond
+// with the block. The zero value is invalid (knows nothing).
+type ownerEntry struct {
+	owner nodeset.NodeID
+	valid bool
+}
+
+type ownerPredictor struct {
+	cfg   Config
+	table *Table[ownerEntry]
+}
+
+func newOwner(cfg Config) *ownerPredictor {
+	return &ownerPredictor{cfg: cfg, table: NewTable[ownerEntry](cfg.Entries, cfg.Ways)}
+}
+
+func (p *ownerPredictor) Name() string { return p.cfg.Name() }
+
+func (p *ownerPredictor) Predict(q Query) nodeset.Set {
+	min := q.MinimalSet()
+	if e := p.table.Lookup(p.cfg.Indexing.Key(q.Addr, q.PC)); e != nil && e.valid {
+		return min.Add(e.owner)
+	}
+	return min
+}
+
+func (p *ownerPredictor) TrainResponse(ev Response) {
+	key := p.cfg.Indexing.Key(ev.Addr, ev.PC)
+	if ev.FromMemory {
+		// The minimal set was sufficient: clear without allocating.
+		if e := p.table.Lookup(key); e != nil {
+			e.valid = false
+		}
+		return
+	}
+	e := p.table.LookupAlloc(key)
+	e.owner = ev.Responder
+	e.valid = true
+}
+
+func (p *ownerPredictor) TrainRequest(ev External) {
+	if ev.Kind != trace.GetExclusive {
+		return // requests for shared are ignored (Table 3)
+	}
+	e := p.table.LookupAlloc(p.cfg.Indexing.Key(ev.Addr, ev.PC))
+	e.owner = ev.Requester
+	e.valid = true
+}
+
+func (p *ownerPredictor) TrainRetry(Retry) {}
+
+// ---------------------------------------------------------------------
+// Broadcast-If-Shared (Table 3, column 2)
+
+// bisEntry is a 2-bit saturating counter; > 1 predicts broadcast.
+type bisEntry struct {
+	counter uint8
+}
+
+type bisPredictor struct {
+	cfg   Config
+	all   nodeset.Set
+	table *Table[bisEntry]
+}
+
+func newBIS(cfg Config) *bisPredictor {
+	return &bisPredictor{
+		cfg:   cfg,
+		all:   nodeset.All(cfg.Nodes),
+		table: NewTable[bisEntry](cfg.Entries, cfg.Ways),
+	}
+}
+
+func (p *bisPredictor) Name() string { return p.cfg.Name() }
+
+func (p *bisPredictor) Predict(q Query) nodeset.Set {
+	if e := p.table.Lookup(p.cfg.Indexing.Key(q.Addr, q.PC)); e != nil && e.counter > 1 {
+		return p.all
+	}
+	return q.MinimalSet()
+}
+
+func (p *bisPredictor) TrainResponse(ev Response) {
+	key := p.cfg.Indexing.Key(ev.Addr, ev.PC)
+	if ev.FromMemory {
+		if e := p.table.Lookup(key); e != nil {
+			e.counter = dec2(e.counter)
+		}
+		return
+	}
+	e := p.table.LookupAlloc(key)
+	e.counter = inc2(e.counter)
+}
+
+func (p *bisPredictor) TrainRequest(ev External) {
+	// Unlike Owner, Broadcast-If-Shared counts every external request as
+	// sharing evidence ("incremented on requests and responses from other
+	// processors", §3.3) — a read from elsewhere means the block is shared.
+	e := p.table.LookupAlloc(p.cfg.Indexing.Key(ev.Addr, ev.PC))
+	e.counter = inc2(e.counter)
+}
+
+func (p *bisPredictor) TrainRetry(Retry) {}
+
+// ---------------------------------------------------------------------
+// Group (Table 3, column 3)
+
+// defaultRolloverLimit is the paper's 5-bit rollover counter.
+const defaultRolloverLimit = 32
+
+// groupEntry holds one 2-bit counter per node plus the 5-bit rollover
+// counter that implements training-down: when the rollover counter wraps,
+// every per-node counter is decremented, so processors that stopped
+// touching the block eventually leave the predicted set.
+type groupEntry struct {
+	counters []uint8
+	rollover uint8
+}
+
+func (e *groupEntry) init(nodes int) {
+	if e.counters == nil {
+		e.counters = make([]uint8, nodes)
+	}
+}
+
+func (e *groupEntry) bump(n nodeset.NodeID, nodes, limit int) {
+	e.init(nodes)
+	e.counters[n] = inc2(e.counters[n])
+	e.tick(limit)
+}
+
+func (e *groupEntry) tick(limit int) {
+	e.rollover++
+	if int(e.rollover) >= limit {
+		e.rollover = 0
+		for i := range e.counters {
+			e.counters[i] = dec2(e.counters[i])
+		}
+	}
+}
+
+func (e *groupEntry) predicted() nodeset.Set {
+	var s nodeset.Set
+	for n, c := range e.counters {
+		if c > 1 {
+			s = s.Add(nodeset.NodeID(n))
+		}
+	}
+	return s
+}
+
+type groupPredictor struct {
+	cfg   Config
+	table *Table[groupEntry]
+}
+
+func newGroup(cfg Config) *groupPredictor {
+	if cfg.GroupRollover <= 0 {
+		cfg.GroupRollover = defaultRolloverLimit
+	}
+	return &groupPredictor{cfg: cfg, table: NewTable[groupEntry](cfg.Entries, cfg.Ways)}
+}
+
+func (p *groupPredictor) Name() string { return p.cfg.Name() }
+
+func (p *groupPredictor) Predict(q Query) nodeset.Set {
+	min := q.MinimalSet()
+	if e := p.table.Lookup(p.cfg.Indexing.Key(q.Addr, q.PC)); e != nil {
+		return min.Union(e.predicted())
+	}
+	return min
+}
+
+func (p *groupPredictor) TrainResponse(ev Response) {
+	key := p.cfg.Indexing.Key(ev.Addr, ev.PC)
+	if ev.FromMemory {
+		// No allocation; an existing entry still advances its decay clock.
+		if e := p.table.Lookup(key); e != nil {
+			e.init(p.cfg.Nodes)
+			e.tick(p.cfg.GroupRollover)
+		}
+		return
+	}
+	p.table.LookupAlloc(key).bump(ev.Responder, p.cfg.Nodes, p.cfg.GroupRollover)
+}
+
+func (p *groupPredictor) TrainRequest(ev External) {
+	// Group increments "on each request or response" (§3.3): readers join
+	// the predicted set so that writes find the sharers they must
+	// invalidate.
+	p.table.LookupAlloc(p.cfg.Indexing.Key(ev.Addr, ev.PC)).bump(ev.Requester, p.cfg.Nodes, p.cfg.GroupRollover)
+}
+
+func (p *groupPredictor) TrainRetry(Retry) {}
+
+// ---------------------------------------------------------------------
+// Owner/Group hybrid (§3.3)
+
+// ownerGroupEntry carries both sub-policies' state in one entry so a
+// single table lookup serves either request kind.
+type ownerGroupEntry struct {
+	owner ownerEntry
+	group groupEntry
+}
+
+type ownerGroupPredictor struct {
+	cfg   Config
+	table *Table[ownerGroupEntry]
+}
+
+func newOwnerGroup(cfg Config) *ownerGroupPredictor {
+	if cfg.GroupRollover <= 0 {
+		cfg.GroupRollover = defaultRolloverLimit
+	}
+	return &ownerGroupPredictor{cfg: cfg, table: NewTable[ownerGroupEntry](cfg.Entries, cfg.Ways)}
+}
+
+func (p *ownerGroupPredictor) Name() string { return p.cfg.Name() }
+
+func (p *ownerGroupPredictor) Predict(q Query) nodeset.Set {
+	min := q.MinimalSet()
+	e := p.table.Lookup(p.cfg.Indexing.Key(q.Addr, q.PC))
+	if e == nil {
+		return min
+	}
+	if q.Kind == trace.GetShared {
+		// Requests for shared go only to the predicted owner: every node
+		// in a stable sharing set sees all GETX traffic, so each tracks
+		// the current owner and pairwise finds it directly.
+		if e.owner.valid {
+			return min.Add(e.owner.owner)
+		}
+		return min
+	}
+	return min.Union(e.group.predicted())
+}
+
+func (p *ownerGroupPredictor) TrainResponse(ev Response) {
+	key := p.cfg.Indexing.Key(ev.Addr, ev.PC)
+	if ev.FromMemory {
+		if e := p.table.Lookup(key); e != nil {
+			e.owner.valid = false
+			e.group.init(p.cfg.Nodes)
+			e.group.tick(p.cfg.GroupRollover)
+		}
+		return
+	}
+	e := p.table.LookupAlloc(key)
+	e.owner = ownerEntry{owner: ev.Responder, valid: true}
+	e.group.bump(ev.Responder, p.cfg.Nodes, p.cfg.GroupRollover)
+}
+
+func (p *ownerGroupPredictor) TrainRequest(ev External) {
+	e := p.table.LookupAlloc(p.cfg.Indexing.Key(ev.Addr, ev.PC))
+	// The group side counts all requests (readers must be invalidated by
+	// later writes); the owner side only tracks writers.
+	e.group.bump(ev.Requester, p.cfg.Nodes, p.cfg.GroupRollover)
+	if ev.Kind == trace.GetExclusive {
+		e.owner = ownerEntry{owner: ev.Requester, valid: true}
+	}
+}
+
+func (p *ownerGroupPredictor) TrainRetry(Retry) {}

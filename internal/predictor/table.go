@@ -1,0 +1,130 @@
+package predictor
+
+import "fmt"
+
+// Table is a tagged predictor table with two modes: a finite set-
+// associative LRU table (Entries > 0) or an unbounded map (Entries == 0,
+// the paper's "unbounded predictors" used for limit studies in §4.4).
+//
+// The entry type E is policy-specific; its zero value must mean "freshly
+// allocated, knows nothing".
+type Table[E any] struct {
+	// finite mode
+	lines []tableLine[E]
+	ways  int
+	mask  uint64
+	clock uint64
+	// unbounded mode
+	unbounded map[uint64]*E
+	// statistics
+	lookups, hits, allocs, evictions uint64
+}
+
+type tableLine[E any] struct {
+	tag   uint64
+	lru   uint64
+	valid bool
+	entry E
+}
+
+// NewTable returns a table with the given capacity (0 = unbounded) and
+// associativity. Finite capacities must be a power of two and a multiple
+// of ways.
+func NewTable[E any](entries, ways int) *Table[E] {
+	if entries == 0 {
+		return &Table[E]{unbounded: make(map[uint64]*E)}
+	}
+	if ways <= 0 {
+		ways = 4
+	}
+	if entries%ways != 0 {
+		panic(fmt.Sprintf("predictor: entries %d not a multiple of ways %d", entries, ways))
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("predictor: set count %d is not a power of two", sets))
+	}
+	return &Table[E]{lines: make([]tableLine[E], entries), ways: ways, mask: uint64(sets - 1)}
+}
+
+// Lookup returns the entry for key, or nil if absent. It never allocates;
+// policies use it for training events that must not allocate (e.g.
+// responses from memory, §3.1).
+func (t *Table[E]) Lookup(key uint64) *E {
+	t.lookups++
+	if t.unbounded != nil {
+		e := t.unbounded[key]
+		if e != nil {
+			t.hits++
+		}
+		return e
+	}
+	set := t.set(key)
+	for i := range set {
+		if set[i].valid && set[i].tag == key {
+			t.hits++
+			t.clock++
+			set[i].lru = t.clock
+			return &set[i].entry
+		}
+	}
+	return nil
+}
+
+// LookupAlloc returns the entry for key, allocating a zero entry (and
+// evicting the set's LRU entry if necessary) when absent.
+func (t *Table[E]) LookupAlloc(key uint64) *E {
+	if e := t.Lookup(key); e != nil {
+		return e
+	}
+	t.allocs++
+	if t.unbounded != nil {
+		e := new(E)
+		t.unbounded[key] = e
+		return e
+	}
+	set := t.set(key)
+	victim := &set[0]
+	for i := 1; i < len(set); i++ {
+		l := &set[i]
+		if !l.valid {
+			victim = l
+			break
+		}
+		if victim.valid && l.lru < victim.lru {
+			victim = l
+		}
+	}
+	if victim.valid {
+		t.evictions++
+	}
+	var zero E
+	t.clock++
+	*victim = tableLine[E]{tag: key, lru: t.clock, valid: true, entry: zero}
+	return &victim.entry
+}
+
+func (t *Table[E]) set(key uint64) []tableLine[E] {
+	s := int(key&t.mask) * t.ways
+	return t.lines[s : s+t.ways]
+}
+
+// Len returns the number of live entries.
+func (t *Table[E]) Len() int {
+	if t.unbounded != nil {
+		return len(t.unbounded)
+	}
+	n := 0
+	for i := range t.lines {
+		if t.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats reports lookup/hit/allocation/eviction counts for capacity
+// analysis.
+func (t *Table[E]) Stats() (lookups, hits, allocs, evictions uint64) {
+	return t.lookups, t.hits, t.allocs, t.evictions
+}

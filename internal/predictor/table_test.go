@@ -1,0 +1,141 @@
+package predictor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUnboundedTable(t *testing.T) {
+	tbl := NewTable[int](0, 0)
+	if tbl.Lookup(42) != nil {
+		t.Error("lookup in empty table should be nil")
+	}
+	e := tbl.LookupAlloc(42)
+	*e = 7
+	if got := tbl.Lookup(42); got == nil || *got != 7 {
+		t.Error("allocated entry not found or wrong")
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tbl.Len())
+	}
+	// Unbounded tables never evict.
+	for k := uint64(0); k < 10000; k++ {
+		tbl.LookupAlloc(k)
+	}
+	if got := tbl.Lookup(42); got == nil || *got != 7 {
+		t.Error("unbounded table lost an entry")
+	}
+}
+
+func TestFiniteTableBasics(t *testing.T) {
+	tbl := NewTable[int](8, 2) // 4 sets x 2 ways
+	e := tbl.LookupAlloc(5)
+	*e = 50
+	if got := tbl.Lookup(5); got == nil || *got != 50 {
+		t.Error("finite table entry lost")
+	}
+	if tbl.Lookup(9) != nil {
+		t.Error("absent key should be nil even when set is occupied (tag check)")
+	}
+}
+
+func TestFiniteTableLRUEviction(t *testing.T) {
+	tbl := NewTable[int](8, 2)
+	// Keys 1, 5, 9 share set 1 (4 sets).
+	*tbl.LookupAlloc(1) = 10
+	*tbl.LookupAlloc(5) = 20
+	tbl.Lookup(1) // 1 is now MRU
+	*tbl.LookupAlloc(9) = 30
+	if tbl.Lookup(5) != nil {
+		t.Error("LRU entry 5 should have been evicted")
+	}
+	if got := tbl.Lookup(1); got == nil || *got != 10 {
+		t.Error("MRU entry 1 should survive")
+	}
+	if got := tbl.Lookup(9); got == nil || *got != 30 {
+		t.Error("new entry 9 should be present")
+	}
+	_, _, _, ev := tbl.Stats()
+	if ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestFiniteTableZeroesRecycledEntries(t *testing.T) {
+	tbl := NewTable[int](4, 1) // direct-mapped, 4 sets
+	*tbl.LookupAlloc(3) = 99
+	// Key 7 maps to the same set as 3; the recycled entry must be zeroed.
+	if got := tbl.LookupAlloc(7); *got != 0 {
+		t.Errorf("recycled entry = %d, want 0", *got)
+	}
+}
+
+func TestTablePanics(t *testing.T) {
+	cases := map[string]func(){
+		"not multiple of ways": func() { NewTable[int](10, 4) },
+		"sets not power of 2":  func() { NewTable[int](12, 4) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTableStats(t *testing.T) {
+	tbl := NewTable[int](8, 2)
+	tbl.Lookup(1)      // miss
+	tbl.LookupAlloc(1) // miss + alloc
+	tbl.Lookup(1)      // hit
+	lookups, hits, allocs, _ := tbl.Stats()
+	if lookups != 3 || hits != 1 || allocs != 1 {
+		t.Errorf("stats = %d/%d/%d, want 3/1/1", lookups, hits, allocs)
+	}
+}
+
+// Property: after LookupAlloc(k), Lookup(k) finds the same entry
+// immediately (no self-eviction), in both table modes.
+func TestQuickAllocThenLookup(t *testing.T) {
+	f := func(keys []uint16, finite bool) bool {
+		var tbl *Table[uint16]
+		if finite {
+			tbl = NewTable[uint16](16, 4)
+		} else {
+			tbl = NewTable[uint16](0, 0)
+		}
+		for _, k := range keys {
+			e := tbl.LookupAlloc(uint64(k))
+			*e = k
+			got := tbl.Lookup(uint64(k))
+			if got == nil || *got != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a finite table never holds more live entries than its capacity.
+func TestQuickCapacityBound(t *testing.T) {
+	f := func(keys []uint64) bool {
+		tbl := NewTable[int](16, 4)
+		for _, k := range keys {
+			tbl.LookupAlloc(k)
+			if tbl.Len() > 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+package protocol
+
+import (
+	"testing"
+
+	"destset/internal/coherence"
+	"destset/internal/nodeset"
+	"destset/internal/predictor"
+	"destset/internal/workload"
+)
+
+func predDir(policy predictor.Policy) *PredictiveDirectory {
+	cfg := predictor.Config{
+		Policy:   policy,
+		Nodes:    16,
+		Indexing: predictor.Indexing{Mode: predictor.ByBlock, MacroblockBytes: 64},
+	}
+	return NewPredictiveDirectory(predictor.NewBank(cfg))
+}
+
+func TestPredictiveDirectoryColdEqualsDirectory(t *testing.T) {
+	// Without training, the engine behaves exactly like the directory.
+	s := testSystem()
+	pd := predDir(predictor.Owner)
+	dir := NewDirectory()
+	rec, mi := miss(t, s, 0, 100, coherence.Load)
+	got := pd.Process(rec, mi)
+	want := dir.Process(rec, mi)
+	if got.RequestMsgs != want.RequestMsgs || got.Indirect != want.Indirect {
+		t.Errorf("cold predictive directory %+v != directory %+v", got, want)
+	}
+	if pd.Stats().NoPrediction != 1 {
+		t.Errorf("stats = %+v", pd.Stats())
+	}
+}
+
+func TestPredictiveDirectoryCorrectGuessRemovesIndirection(t *testing.T) {
+	s := testSystem()
+	pd := predDir(predictor.Owner)
+	// Warm: node 1 writes block 100; node 2's predictor observes it by
+	// processing the transaction (node 2 is a sharer being invalidated).
+	r0, m0 := miss(t, s, 2, 100, coherence.Load)
+	pd.Process(r0, m0)
+	r1, m1 := miss(t, s, 1, 100, coherence.Store)
+	pd.Process(r1, m1)
+	// Node 2 reads: its Owner predictor should point at node 1, turning
+	// the 3-hop miss into 2-hop.
+	rec, mi := miss(t, s, 2, 100, coherence.Load)
+	if !mi.CacheToCache(2) {
+		t.Fatal("setup: read should be cache-to-cache")
+	}
+	res := pd.Process(rec, mi)
+	if res.Indirect {
+		t.Errorf("correct prediction should remove the indirection: %+v", res)
+	}
+	if pd.Stats().Correct != 1 {
+		t.Errorf("stats = %+v", pd.Stats())
+	}
+	// Bandwidth: request + direct + notify = 3 control messages.
+	if res.RequestMsgs != 3 {
+		t.Errorf("request msgs = %d, want 3", res.RequestMsgs)
+	}
+}
+
+func TestPredictiveDirectoryWrongGuessFallsBack(t *testing.T) {
+	s := testSystem()
+	pd := predDir(predictor.Owner)
+	// Train node 3's predictor to a stale owner: node 1 writes (3 is a
+	// sharer), then node 2 writes (3 no longer observes: it was
+	// invalidated and is not in the needed set... it is a sharer of
+	// nothing). Construct staleness directly:
+	r0, m0 := miss(t, s, 3, 100, coherence.Load)
+	pd.Process(r0, m0)
+	r1, m1 := miss(t, s, 1, 100, coherence.Store) // 3 observes: owner=1
+	pd.Process(r1, m1)
+	r2, m2 := miss(t, s, 2, 100, coherence.Store) // 3 does not observe
+	// Process through a separate fresh engine so node 3 keeps the stale
+	// view but coherence state moves on.
+	NewDirectory().Process(r2, m2)
+	rec, mi := miss(t, s, 3, 100, coherence.Load)
+	if mi.Owner != 2 {
+		t.Fatalf("setup: owner = %d, want 2", mi.Owner)
+	}
+	res := pd.Process(rec, mi)
+	if !res.Indirect {
+		t.Error("wrong guess must still indirect")
+	}
+	if pd.Stats().Wrong != 1 {
+		t.Errorf("stats = %+v", pd.Stats())
+	}
+	// Bandwidth: request + wasted direct + forward = 3.
+	if res.RequestMsgs != 3 {
+		t.Errorf("request msgs = %d, want 3", res.RequestMsgs)
+	}
+}
+
+func TestPredictiveDirectoryReducesIndirectionsOnWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload integration")
+	}
+	p, err := workload.Preset("oltp", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SharedUnits = 500
+	p.StreamBlocksPerNode = 8192
+	g, err := workload.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := NewPredictiveDirectory(predictor.NewBank(predictor.DefaultConfig(predictor.Owner, 16)))
+	dir := NewDirectory()
+	var pdTot, dirTot Totals
+	for i := 0; i < 60000; i++ {
+		rec, mi := g.Next()
+		rp := pd.Process(rec, mi)
+		rd := dir.Process(rec, mi)
+		if i >= 30000 {
+			pdTot.Add(rp)
+			dirTot.Add(rd)
+		}
+	}
+	if pdTot.IndirectionPercent() >= dirTot.IndirectionPercent()*0.7 {
+		t.Errorf("predictive directory %.1f%% indirections vs directory %.1f%%: expected a large cut",
+			pdTot.IndirectionPercent(), dirTot.IndirectionPercent())
+	}
+	// Two-hop conversion costs bandwidth but stays far from broadcast.
+	if pdTot.RequestMsgsPerMiss() > dirTot.RequestMsgsPerMiss()+2 {
+		t.Errorf("predictive directory traffic %.2f vs directory %.2f",
+			pdTot.RequestMsgsPerMiss(), dirTot.RequestMsgsPerMiss())
+	}
+}
+
+func TestPredictiveDirectoryPanicsOnEmptyBank(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty bank should panic")
+		}
+	}()
+	NewPredictiveDirectory(nil)
+}
+
+func TestPredictiveDirectoryName(t *testing.T) {
+	pd := predDir(predictor.Owner)
+	if got := pd.Name(); got != "PredictiveDirectory+Owner[64B,unbounded]" {
+		t.Errorf("Name = %q", got)
+	}
+	_ = nodeset.Set(0)
+}

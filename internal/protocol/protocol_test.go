@@ -1,0 +1,298 @@
+package protocol
+
+import (
+	"testing"
+
+	"destset/internal/cache"
+	"destset/internal/coherence"
+	"destset/internal/nodeset"
+	"destset/internal/predictor"
+	"destset/internal/trace"
+)
+
+func testSystem() *coherence.System {
+	return coherence.NewSystem(coherence.Config{
+		Nodes: 16,
+		L2:    cache.Config{SizeBytes: 64 * 64, Ways: 4, BlockBytes: 64},
+	})
+}
+
+// miss drives one access through the oracle and returns the record+info.
+func miss(t *testing.T, s *coherence.System, p nodeset.NodeID, a trace.Addr, k coherence.AccessKind) (trace.Record, coherence.MissInfo) {
+	t.Helper()
+	mi, isMiss := s.Access(p, a, k)
+	if !isMiss {
+		t.Fatalf("access p%d a%d should miss", p, a)
+	}
+	kind := trace.GetShared
+	if k == coherence.Store {
+		kind = trace.GetExclusive
+	}
+	return trace.Record{Addr: a, Requester: uint8(p), Kind: kind}, mi
+}
+
+func TestSnoopingAccounting(t *testing.T) {
+	s := testSystem()
+	eng := NewSnooping(16)
+	rec, mi := miss(t, s, 0, 100, coherence.Load)
+	r := eng.Process(rec, mi)
+	if r.RequestMsgs != 15 {
+		t.Errorf("snooping request msgs = %d, want 15", r.RequestMsgs)
+	}
+	if r.Indirect {
+		t.Error("snooping never indirects")
+	}
+	if r.DataMsgs != 1 {
+		t.Errorf("data msgs = %d, want 1", r.DataMsgs)
+	}
+	if r.InitialSet != nodeset.All(16) {
+		t.Errorf("initial set = %v, want all", r.InitialSet)
+	}
+}
+
+func TestDirectoryMemoryRead(t *testing.T) {
+	s := testSystem()
+	eng := NewDirectory()
+	rec, mi := miss(t, s, 0, 100, coherence.Load)
+	r := eng.Process(rec, mi)
+	if r.RequestMsgs != 1 {
+		t.Errorf("memory read msgs = %d, want 1 (request to home only)", r.RequestMsgs)
+	}
+	if r.Indirect {
+		t.Error("memory-sourced read should not indirect")
+	}
+}
+
+func TestDirectoryCacheToCacheRead(t *testing.T) {
+	s := testSystem()
+	eng := NewDirectory()
+	rec, mi := miss(t, s, 1, 100, coherence.Store)
+	eng.Process(rec, mi)
+	rec, mi = miss(t, s, 2, 100, coherence.Load)
+	r := eng.Process(rec, mi)
+	if r.RequestMsgs != 2 {
+		t.Errorf("c2c read msgs = %d, want 2 (request + forward)", r.RequestMsgs)
+	}
+	if !r.Indirect {
+		t.Error("c2c read must indirect through the directory")
+	}
+}
+
+func TestDirectoryWriteInvalidations(t *testing.T) {
+	s := testSystem()
+	eng := NewDirectory()
+	r1, m1 := miss(t, s, 0, 100, coherence.Store)
+	eng.Process(r1, m1)
+	r2, m2 := miss(t, s, 1, 100, coherence.Load)
+	eng.Process(r2, m2)
+	r3, m3 := miss(t, s, 2, 100, coherence.Load)
+	eng.Process(r3, m3)
+	// Write by 3: owner 0 gets a forward, sharers 1 and 2 get invals.
+	rec, mi := miss(t, s, 3, 100, coherence.Store)
+	r := eng.Process(rec, mi)
+	if r.RequestMsgs != 4 {
+		t.Errorf("write msgs = %d, want 4 (request + forward + 2 invals)", r.RequestMsgs)
+	}
+	if !r.Indirect {
+		t.Error("write with remote owner must indirect")
+	}
+}
+
+func TestDirectoryUpgradeByOwner(t *testing.T) {
+	s := testSystem()
+	eng := NewDirectory()
+	r1, m1 := miss(t, s, 0, 100, coherence.Store)
+	eng.Process(r1, m1)
+	r2, m2 := miss(t, s, 1, 100, coherence.Load)
+	eng.Process(r2, m2)
+	// Node 0 (owner, state O) upgrades: request + 1 inval, no data, no
+	// indirection.
+	rec, mi := miss(t, s, 0, 100, coherence.Store)
+	r := eng.Process(rec, mi)
+	if r.RequestMsgs != 2 {
+		t.Errorf("upgrade msgs = %d, want 2", r.RequestMsgs)
+	}
+	if r.DataMsgs != 0 {
+		t.Errorf("upgrade data msgs = %d, want 0", r.DataMsgs)
+	}
+	if r.Indirect {
+		t.Error("owner upgrade should not indirect")
+	}
+}
+
+func multicastWith(policy predictor.Policy) *Multicast {
+	cfg := predictor.Config{
+		Policy:   policy,
+		Nodes:    16,
+		Entries:  0,
+		Indexing: predictor.Indexing{Mode: predictor.ByBlock, MacroblockBytes: 64},
+	}
+	return NewMulticast(predictor.NewBank(cfg))
+}
+
+func TestMulticastMinimalEqualsDirectoryIndirectionsOnC2C(t *testing.T) {
+	// With the Minimal policy, every cache-to-cache miss is insufficient
+	// and retried.
+	s := testSystem()
+	eng := multicastWith(predictor.Minimal)
+	r1, m1 := miss(t, s, 0, 100, coherence.Store)
+	res := eng.Process(r1, m1)
+	if res.Indirect {
+		t.Error("cold write to memory-owned block should be sufficient")
+	}
+	r2, m2 := miss(t, s, 1, 100, coherence.Load)
+	res = eng.Process(r2, m2)
+	if !res.Indirect || res.Retries != 1 {
+		t.Errorf("minimal-set c2c read must retry: %+v", res)
+	}
+	// Retry adds the owner forward: initial {req,home} minus req = 1, plus
+	// reissue to owner = 1 -> 2 total... unless home == owner/requester.
+	if res.RequestMsgs < 1 || res.RequestMsgs > 2 {
+		t.Errorf("retry request msgs = %d", res.RequestMsgs)
+	}
+}
+
+func TestMulticastBroadcastNeverRetries(t *testing.T) {
+	s := testSystem()
+	eng := multicastWith(predictor.Broadcast)
+	var tot Totals
+	for i := 0; i < 50; i++ {
+		p := nodeset.NodeID(i % 4)
+		k := coherence.Load
+		if i%3 == 0 {
+			k = coherence.Store
+		}
+		mi, isMiss := s.Access(p, trace.Addr(i%7), k)
+		if !isMiss {
+			continue
+		}
+		kind := trace.GetShared
+		if k == coherence.Store {
+			kind = trace.GetExclusive
+		}
+		tot.Add(eng.Process(trace.Record{Addr: trace.Addr(i % 7), Requester: uint8(p), Kind: kind}, mi))
+	}
+	if tot.Indirect != 0 {
+		t.Errorf("broadcast multicast retried %d times", tot.Indirect)
+	}
+	if got := tot.RequestMsgsPerMiss(); got != 15 {
+		t.Errorf("req msgs/miss = %v, want 15", got)
+	}
+}
+
+func TestMulticastOracleIsSufficientAndMinimal(t *testing.T) {
+	s := testSystem()
+	eng := multicastWith(predictor.Oracle)
+	var tot Totals
+	for i := 0; i < 200; i++ {
+		p := nodeset.NodeID(i % 5)
+		a := trace.Addr(i % 11)
+		k := coherence.Load
+		if i%2 == 0 {
+			k = coherence.Store
+		}
+		mi, isMiss := s.Access(p, a, k)
+		if !isMiss {
+			continue
+		}
+		kind := trace.GetShared
+		if k == coherence.Store {
+			kind = trace.GetExclusive
+		}
+		tot.Add(eng.Process(trace.Record{Addr: a, Requester: uint8(p), Kind: kind}, mi))
+	}
+	if tot.Indirect != 0 {
+		t.Errorf("oracle multicast retried %d times", tot.Indirect)
+	}
+	stats := eng.Stats()
+	if stats.Insufficient != 0 {
+		t.Errorf("oracle had %d insufficient predictions", stats.Insufficient)
+	}
+	// Oracle predictions are exactly needed ∪ minimal.
+	if stats.PredictedNodes < stats.NeededNodes {
+		t.Error("oracle predicted fewer nodes than needed")
+	}
+}
+
+func TestMulticastOwnerLearnsPairwise(t *testing.T) {
+	// Two nodes ping-pong a block; after warmup the Owner predictor should
+	// make every request sufficient with just 3 destinations.
+	s := testSystem()
+	eng := multicastWith(predictor.Owner)
+	var warm, measured Totals
+	for i := 0; i < 40; i++ {
+		p := nodeset.NodeID(i % 2)
+		mi, isMiss := s.Access(p, 100, coherence.Store)
+		if !isMiss {
+			t.Fatal("ping-pong stores should always miss")
+		}
+		res := eng.Process(trace.Record{Addr: 100, Requester: uint8(p), Kind: trace.GetExclusive}, mi)
+		if i < 8 {
+			warm.Add(res)
+		} else {
+			measured.Add(res)
+		}
+	}
+	if measured.Indirect != 0 {
+		t.Errorf("trained Owner predictor retried %d/%d times", measured.Indirect, measured.Misses)
+	}
+	if got := measured.RequestMsgsPerMiss(); got > 2.5 {
+		t.Errorf("Owner pairwise req msgs/miss = %v, want <= 2.5", got)
+	}
+}
+
+func TestMulticastTrainingReachesOnlyObservers(t *testing.T) {
+	// A node outside every destination set must never be trained.
+	cfg := predictor.Config{
+		Policy:   predictor.Owner,
+		Nodes:    16,
+		Indexing: predictor.Indexing{Mode: predictor.ByBlock, MacroblockBytes: 64},
+	}
+	bank := predictor.NewBank(cfg)
+	eng := NewMulticast(bank)
+	s := testSystem()
+	rec, mi := miss(t, s, 0, 100, coherence.Store)
+	eng.Process(rec, mi)
+	// Node 9 was neither requester, home, owner nor sharer (home of 100 is
+	// 100%16=4). Its predictor must still be cold.
+	got := bank[9].Predict(predictor.Query{Addr: 100, Requester: 9, Home: 4, Kind: trace.GetShared})
+	if got != nodeset.Of(9, 4) {
+		t.Errorf("unobserving node was trained: %v", got)
+	}
+}
+
+func TestTotalsMath(t *testing.T) {
+	var tot Totals
+	tot.Add(Result{RequestMsgs: 2, DataMsgs: 1, Indirect: true, Retries: 1})
+	tot.Add(Result{RequestMsgs: 4, DataMsgs: 1})
+	if tot.IndirectionPercent() != 50 {
+		t.Errorf("IndirectionPercent = %v", tot.IndirectionPercent())
+	}
+	if tot.RequestMsgsPerMiss() != 3 {
+		t.Errorf("RequestMsgsPerMiss = %v", tot.RequestMsgsPerMiss())
+	}
+	wantBytes := float64(6*ControlBytes+2*DataBytes) / 2
+	if tot.BytesPerMiss() != wantBytes {
+		t.Errorf("BytesPerMiss = %v, want %v", tot.BytesPerMiss(), wantBytes)
+	}
+	var empty Totals
+	if empty.IndirectionPercent() != 0 || empty.RequestMsgsPerMiss() != 0 || empty.BytesPerMiss() != 0 {
+		t.Error("empty totals should be all zero")
+	}
+}
+
+func TestResultBytes(t *testing.T) {
+	r := Result{RequestMsgs: 3, DataMsgs: 1}
+	if got := r.Bytes(); got != 3*ControlBytes+DataBytes {
+		t.Errorf("Bytes = %d", got)
+	}
+}
+
+func TestMulticastPanicsOnEmptyBank(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty predictor bank should panic")
+		}
+	}()
+	NewMulticast(nil)
+}

@@ -1,0 +1,767 @@
+// Package sim is the execution-driven timing simulator of §5: it replays
+// per-node miss streams through a full protocol + interconnect timing
+// model and reports runtime and interconnect traffic.
+//
+// The simulated target follows the paper's Table 4: 16 nodes, each with a
+// 2 GHz processor, 4 MB L2 (12 ns), a memory controller for its slice of
+// memory (80 ns, also holding the directory state), and a single link to
+// one crossbar switch (10 GB/s, 50 ns traversal) that totally orders all
+// requests. The resulting unloaded latencies are the paper's: ~180 ns for
+// a memory fetch, ~112 ns for a snooped cache-to-cache transfer and
+// ~242 ns for a directory-indirected or reissued request.
+//
+// Three protocol engines share the machinery:
+//
+//   - Snooping: requests broadcast; the owner or home responds directly.
+//   - Directory: requests go to the home node, which forwards to the
+//     owner and invalidates sharers after its 80 ns directory access.
+//   - Multicast: requests multicast to a predicted destination set; the
+//     home checks sufficiency and reissues insufficient requests with the
+//     exact owner/sharer set. Because a racing request can be ordered
+//     between the directory's snapshot and the reissue's ordering (the
+//     window of vulnerability, §4.1), a reissue can fail again; the third
+//     retry broadcasts, which always succeeds.
+//
+// Two processor models drive the streams (§5.2): a simple in-order
+// blocking core (4 GIPS when perfect) and a detailed core that issues up
+// to MSHRs outstanding misses within a reorder-buffer window, overlapping
+// the spatial miss bursts commercial workloads produce.
+package sim
+
+import (
+	"fmt"
+
+	"destset/internal/coherence"
+	"destset/internal/event"
+	"destset/internal/interconnect"
+	"destset/internal/nodeset"
+	"destset/internal/predictor"
+	"destset/internal/protocol"
+	"destset/internal/stats"
+	"destset/internal/trace"
+)
+
+// Protocol selects the coherence protocol to simulate.
+type Protocol uint8
+
+const (
+	// Snooping is broadcast snooping on the totally-ordered crossbar.
+	Snooping Protocol = iota
+	// Directory is the GS320-style directory protocol.
+	Directory
+	// Multicast is multicast snooping with a destination-set predictor.
+	Multicast
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case Snooping:
+		return "snooping"
+	case Directory:
+		return "directory"
+	case Multicast:
+		return "multicast"
+	default:
+		return fmt.Sprintf("Protocol(%d)", uint8(p))
+	}
+}
+
+// CPUModel selects the processor model (§5.2).
+type CPUModel uint8
+
+const (
+	// SimpleCPU is the in-order blocking model: one outstanding miss,
+	// compute and misses fully serialized.
+	SimpleCPU CPUModel = iota
+	// DetailedCPU is the dynamically-scheduled model: multiple
+	// outstanding misses within a reorder-buffer window.
+	DetailedCPU
+)
+
+// String names the CPU model.
+func (m CPUModel) String() string {
+	if m == DetailedCPU {
+		return "detailed"
+	}
+	return "simple"
+}
+
+// Config describes a timing simulation.
+type Config struct {
+	Protocol  Protocol
+	Predictor predictor.Config // used when Protocol == Multicast
+	CPU       CPUModel
+
+	Nodes        int
+	Interconnect interconnect.Config
+	Coherence    coherence.Config
+
+	// L2Latency is the owner's cache lookup before responding (12 ns).
+	L2Latency event.Time
+	// MemLatency is the DRAM/directory access at the home node (80 ns).
+	MemLatency event.Time
+
+	// SimpleInstrPerNs is the perfect-cache retire rate of the simple
+	// model (4 instructions/ns = 4 GIPS).
+	SimpleInstrPerNs float64
+	// DetailedInstrPerNs is the front-end rate of the detailed model
+	// (2 GHz x 4-wide = 8 instructions/ns).
+	DetailedInstrPerNs float64
+	// ROBWindow is the detailed model's reorder-buffer size in
+	// instructions (64).
+	ROBWindow int
+	// MSHRs bounds outstanding misses per node in the detailed model.
+	MSHRs int
+
+	// MaxAttempts bounds multicast retries: the attempt after
+	// MaxAttempts-1 failures is a broadcast, which always succeeds.
+	MaxAttempts int
+}
+
+// DefaultConfig returns the paper's Table 4 target system.
+func DefaultConfig(p Protocol) Config {
+	nodes := 16
+	coh := coherence.DefaultConfig()
+	coh.TrackBlockStats = false
+	return Config{
+		Protocol:           p,
+		Predictor:          predictor.DefaultConfig(predictor.Group, nodes),
+		CPU:                SimpleCPU,
+		Nodes:              nodes,
+		Interconnect:       interconnect.DefaultConfig(nodes),
+		Coherence:          coh,
+		L2Latency:          12 * event.Nanosecond,
+		MemLatency:         80 * event.Nanosecond,
+		SimpleInstrPerNs:   4,
+		DetailedInstrPerNs: 8,
+		ROBWindow:          64,
+		MSHRs:              8,
+		MaxAttempts:        4,
+	}
+}
+
+// Name labels the configuration in reports.
+func (c Config) Name() string {
+	switch c.Protocol {
+	case Multicast:
+		return "Multicast+" + c.Predictor.Name()
+	default:
+		return c.Protocol.String()
+	}
+}
+
+// Result reports a timing run.
+type Result struct {
+	// RuntimeNs is the simulated execution time (last miss completion).
+	RuntimeNs float64
+	// Misses is the number of timed transactions.
+	Misses uint64
+	// EndpointBytes is total interconnect traffic: every delivered copy
+	// of every request, forward, invalidation, reissue, data response and
+	// writeback.
+	EndpointBytes uint64
+	// AvgMissLatencyNs is the mean issue-to-completion latency.
+	AvgMissLatencyNs float64
+	// Indirections counts misses that required a directory forward or at
+	// least one multicast reissue.
+	Indirections uint64
+	// Retries counts multicast reissues (including repeat retries).
+	Retries uint64
+	// MaxOutstanding is the peak per-node outstanding misses observed.
+	MaxOutstanding int
+	// LatencyP50Ns, LatencyP90Ns and LatencyP99Ns are miss-latency
+	// percentiles (5 ns resolution).
+	LatencyP50Ns float64
+	LatencyP90Ns float64
+	LatencyP99Ns float64
+}
+
+// BytesPerMiss returns average endpoint traffic per miss.
+func (r Result) BytesPerMiss() float64 {
+	if r.Misses == 0 {
+		return 0
+	}
+	return float64(r.EndpointBytes) / float64(r.Misses)
+}
+
+// IndirectionPercent returns the percent of misses that indirected.
+func (r Result) IndirectionPercent() float64 {
+	if r.Misses == 0 {
+		return 0
+	}
+	return 100 * float64(r.Indirections) / float64(r.Misses)
+}
+
+// msgKind tags interconnect payloads.
+type msgKind uint8
+
+const (
+	msgRequest msgKind = iota
+	msgReissue
+	msgForward // directory: home -> owner
+	msgInval   // directory: home -> sharer
+	msgData    // responder -> requester (72 B)
+	msgDone    // home -> requester, dataless completion
+	msgWriteback
+)
+
+type payload struct {
+	kind    msgKind
+	t       *txn
+	attempt int
+}
+
+// txn is one in-flight miss transaction.
+type txn struct {
+	node      *node
+	idx       int
+	rec       trace.Record
+	issuedAt  event.Time
+	attempts  int
+	mask      nodeset.Set
+	retried   bool
+	completed bool
+
+	// Current-attempt outcome, set at the ordering point.
+	sufficient bool
+	mi         coherence.MissInfo
+}
+
+// node is one processor's stream state.
+type node struct {
+	id   nodeset.NodeID
+	recs []trace.Record
+	pos  []uint64 // cumulative instructions before each miss issues
+
+	next         int
+	oldest       int
+	doneMask     []bool
+	inflight     int
+	inflightBlks map[trace.Addr]bool
+	lastIssue    event.Time
+	issuePending bool
+}
+
+// sim is one simulation run.
+type sim struct {
+	cfg   Config
+	loop  *event.Loop
+	xbar  *interconnect.Crossbar
+	coh   *coherence.System
+	preds []predictor.Predictor
+	nodes []*node
+
+	completed      uint64
+	total          uint64
+	latencySum     event.Time
+	latencies      *stats.Histogram // 5ns buckets up to 4000ns
+	lastComplete   event.Time
+	indirections   uint64
+	retries        uint64
+	maxOutstanding int
+}
+
+// latencyBucketNs is the latency histogram resolution.
+const latencyBucketNs = 5
+
+// Run simulates the timed trace after warming caches and predictors with
+// the warm trace (instantaneously, as the paper does with trace-based
+// warmup, §5.2). warm may be nil.
+func Run(cfg Config, warm, timed *trace.Trace) (Result, error) {
+	if err := validate(cfg, timed); err != nil {
+		return Result{}, err
+	}
+	s := newSim(cfg)
+	if warm != nil {
+		s.warmUp(warm)
+	}
+	s.loadStreams(timed)
+	for _, n := range s.nodes {
+		s.tryIssue(n)
+	}
+	s.loop.Run()
+	if s.completed != s.total {
+		return Result{}, fmt.Errorf("sim: deadlock: %d/%d misses completed", s.completed, s.total)
+	}
+	res := Result{
+		RuntimeNs:      s.lastComplete.Nanoseconds(),
+		Misses:         s.completed,
+		Indirections:   s.indirections,
+		Retries:        s.retries,
+		MaxOutstanding: s.maxOutstanding,
+	}
+	if s.completed > 0 {
+		res.AvgMissLatencyNs = (s.latencySum / event.Time(s.completed)).Nanoseconds()
+		res.LatencyP50Ns = float64(s.latencies.Quantile(0.50) * latencyBucketNs)
+		res.LatencyP90Ns = float64(s.latencies.Quantile(0.90) * latencyBucketNs)
+		res.LatencyP99Ns = float64(s.latencies.Quantile(0.99) * latencyBucketNs)
+	}
+	_, res.EndpointBytes = s.xbar.Stats()
+	return res, nil
+}
+
+func validate(cfg Config, timed *trace.Trace) error {
+	switch {
+	case timed == nil || timed.Len() == 0:
+		return fmt.Errorf("sim: empty trace")
+	case timed.Nodes != cfg.Nodes:
+		return fmt.Errorf("sim: trace has %d nodes, config %d", timed.Nodes, cfg.Nodes)
+	case cfg.Nodes <= 0 || cfg.Nodes > nodeset.MaxNodes:
+		return fmt.Errorf("sim: bad node count %d", cfg.Nodes)
+	case cfg.SimpleInstrPerNs <= 0 || cfg.DetailedInstrPerNs <= 0:
+		return fmt.Errorf("sim: instruction rates must be positive")
+	case cfg.MSHRs <= 0 || cfg.ROBWindow <= 0:
+		return fmt.Errorf("sim: MSHRs and ROBWindow must be positive")
+	case cfg.MaxAttempts < 2:
+		return fmt.Errorf("sim: need at least 2 attempts (initial + broadcast)")
+	}
+	return nil
+}
+
+func newSim(cfg Config) *sim {
+	loop := &event.Loop{}
+	cohCfg := cfg.Coherence
+	if cohCfg.Nodes == 0 {
+		cohCfg = coherence.DefaultConfig()
+		cohCfg.TrackBlockStats = false
+	}
+	cohCfg.Nodes = cfg.Nodes
+	s := &sim{
+		cfg:       cfg,
+		loop:      loop,
+		xbar:      interconnect.New(cfg.Interconnect, loop),
+		coh:       coherence.NewSystem(cohCfg),
+		latencies: stats.NewHistogram(4000 / latencyBucketNs),
+	}
+	if cfg.Protocol == Multicast {
+		pc := cfg.Predictor
+		pc.Nodes = cfg.Nodes
+		s.preds = predictor.NewBank(pc)
+	}
+	s.coh.OnWriteback = func(from nodeset.NodeID, a trace.Addr) {
+		home := s.coh.Home(a)
+		if home == from {
+			return // local writeback never crosses the interconnect
+		}
+		s.xbar.Send(&interconnect.Message{
+			From:    from,
+			To:      nodeset.Of(home),
+			Bytes:   protocol.DataBytes,
+			Payload: payload{kind: msgWriteback},
+		})
+	}
+	s.xbar.OnOrdered = s.onOrdered
+	s.xbar.OnDeliver = s.onDeliver
+	return s
+}
+
+// warmUp replays the warm trace through the coherence state and (for
+// multicast) the predictors using the trace-driven engine semantics.
+func (s *sim) warmUp(warm *trace.Trace) {
+	var eng protocol.Engine
+	if s.preds != nil {
+		eng = protocol.NewMulticast(s.preds)
+	}
+	for _, rec := range warm.Records {
+		mi := s.coh.Apply(rec)
+		if eng != nil {
+			eng.Process(rec, mi)
+		}
+	}
+}
+
+// loadStreams splits the global trace into per-node program-order streams.
+func (s *sim) loadStreams(t *trace.Trace) {
+	s.nodes = make([]*node, s.cfg.Nodes)
+	for i := range s.nodes {
+		s.nodes[i] = &node{id: nodeset.NodeID(i), inflightBlks: make(map[trace.Addr]bool)}
+	}
+	for _, rec := range t.Records {
+		n := s.nodes[rec.Requester]
+		n.recs = append(n.recs, rec)
+	}
+	for _, n := range s.nodes {
+		n.pos = make([]uint64, len(n.recs))
+		var cum uint64
+		for i, rec := range n.recs {
+			cum += uint64(rec.Gap)
+			n.pos[i] = cum
+		}
+		n.doneMask = make([]bool, len(n.recs))
+		s.total += uint64(len(n.recs))
+	}
+}
+
+// gapTime converts an instruction gap to compute time at the given rate.
+func gapTime(gap uint32, instrPerNs float64) event.Time {
+	return event.Time(float64(gap) / instrPerNs * float64(event.Nanosecond))
+}
+
+// tryIssue schedules the node's next miss if the processor model allows.
+func (s *sim) tryIssue(n *node) {
+	if n.issuePending || n.next >= len(n.recs) {
+		return
+	}
+	rec := n.recs[n.next]
+	var at event.Time
+	switch s.cfg.CPU {
+	case SimpleCPU:
+		// Blocking core: one outstanding miss; the gap's instructions
+		// execute after the previous miss resolves.
+		if n.inflight > 0 {
+			return
+		}
+		at = s.loop.Now() + gapTime(rec.Gap, s.cfg.SimpleInstrPerNs)
+	case DetailedCPU:
+		if n.inflight >= s.cfg.MSHRs {
+			return
+		}
+		if n.inflightBlks[rec.Addr] {
+			return // same-block request must wait (MSHR merge)
+		}
+		// The reorder buffer bounds how far the front end runs ahead of
+		// the oldest unresolved miss.
+		if n.inflight > 0 && n.pos[n.next]-n.pos[n.oldest] >= uint64(s.cfg.ROBWindow) {
+			return
+		}
+		at = n.lastIssue + gapTime(rec.Gap, s.cfg.DetailedInstrPerNs)
+		if now := s.loop.Now(); at < now {
+			at = now
+		}
+	}
+	n.issuePending = true
+	s.loop.At(at, func(now event.Time) {
+		n.issuePending = false
+		s.issue(n, now)
+		s.tryIssue(n)
+	})
+}
+
+// issue sends the node's next miss into the memory system.
+func (s *sim) issue(n *node, now event.Time) {
+	idx := n.next
+	n.next++
+	n.inflight++
+	if n.inflight > s.maxOutstanding {
+		s.maxOutstanding = n.inflight
+	}
+	n.lastIssue = now
+	rec := n.recs[idx]
+	n.inflightBlks[rec.Addr] = true
+	t := &txn{node: n, idx: idx, rec: rec, issuedAt: now}
+	t.mask = s.initialMask(t)
+	s.sendAttempt(t)
+}
+
+// initialMask picks the first attempt's destination set per protocol.
+func (s *sim) initialMask(t *txn) nodeset.Set {
+	req := nodeset.NodeID(t.rec.Requester)
+	home := s.coh.Home(t.rec.Addr)
+	switch s.cfg.Protocol {
+	case Snooping:
+		return nodeset.All(s.cfg.Nodes)
+	case Directory:
+		return coherence.MinimalSet(req, home)
+	default:
+		q := predictor.Query{
+			Addr:      t.rec.Addr,
+			PC:        t.rec.PC,
+			Requester: req,
+			Home:      home,
+			Kind:      t.rec.Kind,
+		}
+		p := s.preds[req]
+		if o, ok := p.(predictor.OracleSetter); ok {
+			o.SetOracle(s.coh.Peek(t.rec).Needed(req, t.rec.Kind))
+		}
+		return p.Predict(q).Union(q.MinimalSet())
+	}
+}
+
+// sendAttempt multicasts the current attempt from the requester. Even
+// when nobody else needs a copy (the requester is its own home and the
+// mask is minimal), the request still travels to the switch: the total
+// order is what makes the protocols correct, so every request must be
+// ordered.
+func (s *sim) sendAttempt(t *txn) {
+	t.attempts++
+	req := nodeset.NodeID(t.rec.Requester)
+	to := t.mask.Remove(req)
+	if to.Empty() {
+		to = nodeset.Of(req) // ordering echo only
+	}
+	s.xbar.Send(&interconnect.Message{
+		From:    req,
+		To:      to,
+		Bytes:   protocol.ControlBytes,
+		Payload: payload{kind: msgRequest, t: t, attempt: t.attempts},
+	})
+}
+
+// onOrdered is the total-order point: sufficiency is decided and state
+// transitions commit here.
+func (s *sim) onOrdered(now event.Time, seq uint64, msg *interconnect.Message) {
+	p, ok := msg.Payload.(payload)
+	if !ok || (p.kind != msgRequest && p.kind != msgReissue) {
+		return
+	}
+	t := p.t
+	if p.attempt != t.attempts || t.completed {
+		return // stale attempt already superseded
+	}
+	req := nodeset.NodeID(t.rec.Requester)
+	mi := s.coh.Peek(t.rec)
+	needed := mi.Needed(req, t.rec.Kind)
+	switch s.cfg.Protocol {
+	case Multicast:
+		t.sufficient = t.mask.Superset(needed)
+	default:
+		// Broadcast snooping always covers the needed set; the directory
+		// protocol's home node forwards with authoritative state.
+		t.sufficient = true
+	}
+	half := s.cfg.Interconnect.Traversal / 2
+	if !t.sufficient {
+		// The home node reissues when its copy arrives; when the
+		// requester is its own home, the directory access is local.
+		if mi.Home == req {
+			s.loop.At(now+half+s.cfg.MemLatency, func(event.Time) { s.reissue(t) })
+		}
+		return
+	}
+	t.mi = s.coh.Apply(t.rec)
+	if s.cfg.Protocol == Directory && t.mi.DirIndirection(req) {
+		s.indirections++
+	}
+	if s.cfg.Protocol == Directory {
+		// When the requester is its own home, the directory access
+		// happens locally instead of via a delivered request copy.
+		if t.mi.Home == req {
+			s.loop.At(now+half+s.cfg.MemLatency, func(event.Time) { s.directoryAct(t) })
+		}
+		return
+	}
+	// Snooping and sufficient multicast: the owner responds on delivery.
+	// Two cases never produce a delivery to resolve the miss and are
+	// completed from the ordering point instead.
+	_, fromMem, none := t.mi.Responder(req)
+	switch {
+	case none:
+		// Dataless upgrade: the requester learns the outcome when its own
+		// request would reach it on the ordered network.
+		s.loop.At(now+half, func(done event.Time) { s.complete(t, done) })
+	case fromMem && t.mi.Home == req:
+		// The requester is home: a local memory access supplies the data.
+		s.loop.At(now+half+s.cfg.MemLatency, func(done event.Time) { s.complete(t, done) })
+	}
+}
+
+// onDeliver handles message arrival at one destination.
+func (s *sim) onDeliver(now event.Time, dst nodeset.NodeID, msg *interconnect.Message) {
+	p, ok := msg.Payload.(payload)
+	if !ok {
+		return
+	}
+	switch p.kind {
+	case msgRequest, msgReissue:
+		s.deliverRequest(now, dst, p)
+	case msgForward:
+		// Directory forward reached the owner: respond with data.
+		t := p.t
+		s.loop.After(s.cfg.L2Latency, func(event.Time) {
+			s.sendData(dst, t)
+		})
+	case msgInval:
+		// Sharer invalidation: state already committed at ordering; the
+		// message only costs bandwidth on the totally-ordered network.
+	case msgData, msgDone:
+		t := p.t
+		if s.preds != nil && p.kind == msgData {
+			responder, fromMem, none := t.mi.Responder(nodeset.NodeID(t.rec.Requester))
+			if !none {
+				s.preds[dst].TrainResponse(predictor.Response{
+					Addr:       t.rec.Addr,
+					PC:         t.rec.PC,
+					Responder:  responder,
+					FromMemory: fromMem,
+				})
+			}
+		}
+		s.complete(t, now)
+	case msgWriteback:
+		// Pure bandwidth.
+	}
+}
+
+// deliverRequest handles a request or reissue copy arriving at dst.
+func (s *sim) deliverRequest(now event.Time, dst nodeset.NodeID, p payload) {
+	t := p.t
+	req := nodeset.NodeID(t.rec.Requester)
+	if dst == req {
+		return // the requester's own copy is just the ordering echo
+	}
+	if s.preds != nil {
+		s.preds[dst].TrainRequest(predictor.External{
+			Addr:      t.rec.Addr,
+			PC:        t.rec.PC,
+			Requester: req,
+			Kind:      t.rec.Kind,
+		})
+	}
+	if p.attempt != t.attempts || t.completed {
+		return // superseded attempt
+	}
+	home := s.coh.Home(t.rec.Addr)
+	if !t.sufficient {
+		// Only the home reacts to an insufficient attempt: after its
+		// directory access it reissues with the improved set (§4.1).
+		if dst == home && s.cfg.Protocol == Multicast {
+			s.loop.After(s.cfg.MemLatency, func(event.Time) { s.reissue(t) })
+		}
+		return
+	}
+	switch s.cfg.Protocol {
+	case Directory:
+		if dst == home {
+			s.loop.After(s.cfg.MemLatency, func(event.Time) { s.directoryAct(t) })
+		}
+	default:
+		responder, fromMem, none := t.mi.Responder(req)
+		if none {
+			return // completion already scheduled at ordering
+		}
+		if fromMem && dst == home {
+			s.loop.After(s.cfg.MemLatency, func(event.Time) { s.sendData(home, t) })
+		} else if !fromMem && dst == responder {
+			s.loop.After(s.cfg.L2Latency, func(event.Time) { s.sendData(responder, t) })
+		}
+	}
+}
+
+// directoryAct is the home node's action after its directory access:
+// respond from memory, forward to the owner, and invalidate sharers.
+// When the requester is its own home, the response is local.
+func (s *sim) directoryAct(t *txn) {
+	if t.completed {
+		return
+	}
+	req := nodeset.NodeID(t.rec.Requester)
+	home := s.coh.Home(t.rec.Addr)
+	responder, fromMem, none := t.mi.Responder(req)
+	switch {
+	case none && home == req:
+		s.complete(t, s.loop.Now())
+	case none:
+		s.xbar.Send(&interconnect.Message{
+			From:    home,
+			To:      nodeset.Of(req),
+			Bytes:   protocol.ControlBytes,
+			Payload: payload{kind: msgDone, t: t, attempt: t.attempts},
+		})
+	case fromMem && home == req:
+		s.complete(t, s.loop.Now())
+	case fromMem:
+		s.sendData(home, t)
+	default:
+		s.xbar.Send(&interconnect.Message{
+			From:    home,
+			To:      nodeset.Of(responder),
+			Bytes:   protocol.ControlBytes,
+			Payload: payload{kind: msgForward, t: t, attempt: t.attempts},
+		})
+	}
+	if t.rec.Kind == trace.GetExclusive {
+		invals := t.mi.Sharers.Remove(req).Remove(t.mi.Owner).Remove(home)
+		if !invals.Empty() {
+			s.xbar.Send(&interconnect.Message{
+				From:    home,
+				To:      invals,
+				Bytes:   protocol.ControlBytes,
+				Payload: payload{kind: msgInval, t: t, attempt: t.attempts},
+			})
+		}
+	}
+}
+
+// reissue is the home directory's retry of an insufficient multicast: the
+// improved destination set reflects the owner and sharers at snapshot
+// time, but a racing request can still invalidate it before the reissue
+// is ordered. The MaxAttempts-th attempt broadcasts.
+func (s *sim) reissue(t *txn) {
+	if t.completed {
+		return
+	}
+	s.retries++
+	if !t.retried {
+		t.retried = true
+		s.indirections++
+	}
+	req := nodeset.NodeID(t.rec.Requester)
+	home := s.coh.Home(t.rec.Addr)
+	if s.preds != nil {
+		s.preds[req].TrainRetry(predictor.Retry{
+			Addr:   t.rec.Addr,
+			PC:     t.rec.PC,
+			Needed: s.coh.Peek(t.rec).Needed(req, t.rec.Kind),
+		})
+	}
+	t.attempts++
+	if t.attempts >= s.cfg.MaxAttempts {
+		t.mask = nodeset.All(s.cfg.Nodes)
+	} else {
+		t.mask = s.coh.Peek(t.rec).Needed(req, t.rec.Kind).Add(home)
+	}
+	to := t.mask.Remove(req)
+	if to.Empty() {
+		// The requester is its own home and nobody else needs to see the
+		// request anymore (e.g. the owner wrote back in the meantime):
+		// satisfy it locally.
+		t.sufficient = true
+		t.mi = s.coh.Apply(t.rec)
+		s.loop.After(s.cfg.MemLatency, func(done event.Time) { s.complete(t, done) })
+		return
+	}
+	s.xbar.Send(&interconnect.Message{
+		From:    home,
+		To:      to,
+		Bytes:   protocol.ControlBytes,
+		Payload: payload{kind: msgReissue, t: t, attempt: t.attempts},
+	})
+}
+
+// sendData sends the 72-byte data response to the requester.
+func (s *sim) sendData(from nodeset.NodeID, t *txn) {
+	if t.completed {
+		return
+	}
+	s.xbar.Send(&interconnect.Message{
+		From:    from,
+		To:      nodeset.Of(nodeset.NodeID(t.rec.Requester)),
+		Bytes:   protocol.DataBytes,
+		Payload: payload{kind: msgData, t: t, attempt: t.attempts},
+	})
+}
+
+// complete retires a transaction and unblocks the node's stream.
+func (s *sim) complete(t *txn, now event.Time) {
+	if t.completed {
+		return
+	}
+	t.completed = true
+	n := t.node
+	n.inflight--
+	delete(n.inflightBlks, t.rec.Addr)
+	n.doneMask[t.idx] = true
+	for n.oldest < len(n.doneMask) && n.doneMask[n.oldest] {
+		n.oldest++
+	}
+	s.completed++
+	lat := now - t.issuedAt
+	s.latencySum += lat
+	s.latencies.Add(int(lat / (latencyBucketNs * event.Nanosecond)))
+	if now > s.lastComplete {
+		s.lastComplete = now
+	}
+	s.tryIssue(n)
+}

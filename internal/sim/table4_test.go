@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+
+	"destset/internal/event"
+)
+
+// TestTable4Parameters pins the default configuration to the paper's
+// Table 4 target system, so accidental changes to the modelled machine
+// fail loudly.
+func TestTable4Parameters(t *testing.T) {
+	cfg := DefaultConfig(Snooping)
+	if cfg.Nodes != 16 {
+		t.Errorf("nodes = %d, want 16", cfg.Nodes)
+	}
+	if cfg.L2Latency != 12*event.Nanosecond {
+		t.Errorf("L2 latency = %v, want 12ns", cfg.L2Latency)
+	}
+	if cfg.MemLatency != 80*event.Nanosecond {
+		t.Errorf("memory latency = %v, want 80ns", cfg.MemLatency)
+	}
+	if cfg.Interconnect.BytesPerNs != 10 {
+		t.Errorf("link bandwidth = %v B/ns, want 10 (10 GB/s)", cfg.Interconnect.BytesPerNs)
+	}
+	if cfg.Interconnect.Traversal != 50*event.Nanosecond {
+		t.Errorf("traversal = %v, want 50ns", cfg.Interconnect.Traversal)
+	}
+	// L2: 4 MB, 4-way, 64 B blocks.
+	l2 := cfg.Coherence.L2
+	if l2.SizeBytes != 4<<20 || l2.Ways != 4 || l2.BlockBytes != 64 {
+		t.Errorf("L2 geometry = %+v, want 4MB/4-way/64B", l2)
+	}
+	// Processor: 2 GHz x 4-wide detailed front end, 64-entry ROB; simple
+	// model at 4 GIPS.
+	if cfg.DetailedInstrPerNs != 8 {
+		t.Errorf("detailed rate = %v instr/ns, want 8", cfg.DetailedInstrPerNs)
+	}
+	if cfg.SimpleInstrPerNs != 4 {
+		t.Errorf("simple rate = %v instr/ns, want 4 (4 GIPS)", cfg.SimpleInstrPerNs)
+	}
+	if cfg.ROBWindow != 64 {
+		t.Errorf("ROB = %d entries, want 64", cfg.ROBWindow)
+	}
+}
+
+// TestPaperLatencyArithmetic pins the three §5.1 composite latencies the
+// whole evaluation is built on.
+func TestPaperLatencyArithmetic(t *testing.T) {
+	cfg := DefaultConfig(Snooping)
+	tr := cfg.Interconnect.Traversal
+	mem := tr + cfg.MemLatency + tr
+	if mem != 180*event.Nanosecond {
+		t.Errorf("memory fetch = %v, want 180ns", mem)
+	}
+	c2c := tr + cfg.L2Latency + tr
+	if c2c != 112*event.Nanosecond {
+		t.Errorf("snooped cache-to-cache = %v, want 112ns", c2c)
+	}
+	threeHop := tr + cfg.MemLatency + tr + cfg.L2Latency + tr
+	if threeHop != 242*event.Nanosecond {
+		t.Errorf("directory 3-hop = %v, want 242ns", threeHop)
+	}
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileBasics(t *testing.T) {
+	h := NewHistogram(100)
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	cases := []struct {
+		q    float64
+		want int
+	}{
+		{0.0, 1}, {0.5, 50}, {0.9, 90}, {0.99, 99}, {1.0, 100},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	empty := NewHistogram(10)
+	if empty.Quantile(0.5) != -1 {
+		t.Error("empty histogram quantile should be -1")
+	}
+	h := NewHistogram(10)
+	h.Add(7)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 7 {
+			t.Errorf("single-value Quantile(%v) = %d, want 7", q, got)
+		}
+	}
+}
+
+// Property: quantiles are monotone in q and bracketed by min/max values.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(values []uint8) bool {
+		if len(values) == 0 {
+			return true
+		}
+		h := NewHistogram(255)
+		lo, hi := 255, 0
+		for _, v := range values {
+			h.Add(int(v))
+			if int(v) < lo {
+				lo = int(v)
+			}
+			if int(v) > hi {
+				hi = int(v)
+			}
+		}
+		prev := -1
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			got := h.Quantile(q)
+			if got < prev || got < lo || got > hi {
+				return false
+			}
+			prev = got
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+// Package trace defines the coherence-request trace format used throughout
+// the repository.
+//
+// Following the paper's methodology (§2.1), a trace is the stream of
+// second-level cache misses; each record carries the data address, the
+// program counter of the missing instruction, the requesting processor and
+// the request type. We add the number of instructions the requester
+// executed since its previous miss, which the execution-driven timing
+// simulator (§5) needs to reconstruct compute time between misses.
+package trace
+
+import "fmt"
+
+// Kind is the coherence request type of a MOSI write-invalidate protocol.
+type Kind uint8
+
+const (
+	// GetShared requests a read-only copy (load miss). It must reach the
+	// current owner of the block.
+	GetShared Kind = iota
+	// GetExclusive requests a writable copy (store miss or upgrade). It
+	// must reach the owner and all sharers.
+	GetExclusive
+)
+
+// String returns the conventional protocol mnemonic.
+func (k Kind) String() string {
+	switch k {
+	case GetShared:
+		return "GETS"
+	case GetExclusive:
+		return "GETX"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Addr is a physical block-aligned data address. The low bits inside a
+// cache block are never recorded; Addr counts 64-byte blocks.
+type Addr uint64
+
+// PC identifies the static load/store instruction that caused a miss.
+type PC uint64
+
+// BlockBytes is the coherence unit: 64-byte blocks, as in the paper.
+const BlockBytes = 64
+
+// MacroblockBytes is the default spatial-aggregation unit (§3.4).
+const MacroblockBytes = 1024
+
+// BlocksPerMacroblock is how many blocks a 1024-byte macroblock spans.
+const BlocksPerMacroblock = MacroblockBytes / BlockBytes
+
+// Macroblock returns the macroblock index of a for the given macroblock
+// size in bytes (which must be a multiple of BlockBytes).
+func Macroblock(a Addr, sizeBytes int) Addr {
+	return a / Addr(sizeBytes/BlockBytes)
+}
+
+// Record is one L2 cache miss / coherence request.
+type Record struct {
+	Addr      Addr   // 64-byte block number
+	PC        PC     // static instruction
+	Requester uint8  // node ID of the missing processor
+	Kind      Kind   // GETS or GETX
+	Gap       uint32 // instructions executed by Requester since its previous miss
+}
+
+// String formats a record for debugging.
+func (r Record) String() string {
+	return fmt.Sprintf("%s p%d blk=%#x pc=%#x gap=%d", r.Kind, r.Requester, uint64(r.Addr), uint64(r.PC), r.Gap)
+}
+
+// Trace is an in-memory trace with its system configuration.
+type Trace struct {
+	// Nodes is the number of processor nodes in the traced system.
+	Nodes int
+	// Records is the miss stream in global program order. For trace-driven
+	// evaluation this order is also the interconnect (total) order.
+	Records []Record
+}
+
+// Append adds a record to the trace.
+func (t *Trace) Append(r Record) { t.Records = append(t.Records, r) }
+
+// Len returns the number of records.
+func (t *Trace) Len() int { return len(t.Records) }

@@ -1,0 +1,340 @@
+// Package verify is an explicit-state model checker for the multicast
+// snooping coherence protocol, in the spirit of Sorin et al., "Specifying
+// and Verifying a Broadcast and a Multicast Snooping Cache Coherence
+// Protocol" (IEEE TPDS 2002), which the paper builds on (§4.1).
+//
+// The property it establishes is the one destination-set prediction
+// depends on: predictions affect performance, never correctness. A
+// requester may multicast to ANY destination set; the home directory's
+// sufficiency check and reissue guarantee that every node that must
+// observe the request eventually does. The checker exhaustively explores
+// every reachable protocol state of a small system (every requester,
+// request type, destination mask and eviction interleaving) and verifies
+// the coherence invariants in each:
+//
+//   - Single-writer/multiple-reader: at most one owner; a Modified copy
+//     excludes all other copies.
+//   - Data-value integrity: every valid cached copy holds the latest
+//     version (modelled as a freshness bit that a write clears on every
+//     other copy and on memory).
+//   - Memory freshness: when no cache owns the block, memory must hold
+//     the latest version (dirty evictions must write back).
+//
+// The transition rules are parameterized so tests can inject the classic
+// protocol bugs (skipping sharer invalidation, checking sufficiency
+// without sharers, dropping dirty evictions) and watch the checker find
+// the violating trace — evidence the invariants have teeth.
+package verify
+
+import (
+	"fmt"
+
+	"destset/internal/cache"
+	"destset/internal/nodeset"
+)
+
+// MaxNodes bounds the model size; the state space is exponential in it.
+const MaxNodes = 4
+
+// Copy is one node's view of the block.
+type Copy struct {
+	St    cache.State // Invalid, Shared, Owned or Modified (MOSI model)
+	Fresh bool        // holds the latest version
+}
+
+// State is one global protocol state for a single memory block.
+type State struct {
+	Nodes    [MaxNodes]Copy
+	MemFresh bool
+}
+
+// initial returns the reset state: no cached copies, memory fresh.
+func initial() State {
+	return State{MemFresh: true}
+}
+
+// owner returns the index of the cache owner (O or M state), or -1.
+func (s State) owner() int {
+	for i, c := range s.Nodes {
+		if c.St == cache.Owned || c.St == cache.Modified {
+			return i
+		}
+	}
+	return -1
+}
+
+// sharers returns the set of nodes holding Shared copies.
+func (s State) sharers(n int) nodeset.Set {
+	var set nodeset.Set
+	for i := 0; i < n; i++ {
+		if s.Nodes[i].St == cache.Shared {
+			set = set.Add(nodeset.NodeID(i))
+		}
+	}
+	return set
+}
+
+// String renders a state like "[M! I S ] mem:stale" (! marks stale).
+func (s State) String() string {
+	out := "["
+	for _, c := range s.Nodes {
+		out += c.St.String()
+		if c.St != cache.Invalid && !c.Fresh {
+			out += "!"
+		}
+		out += " "
+	}
+	out += "] mem:"
+	if s.MemFresh {
+		out += "fresh"
+	} else {
+		out += "stale"
+	}
+	return out
+}
+
+// Rules parameterize the protocol's transition relation. CorrectRules
+// returns the real protocol; tests flip individual fields to inject bugs.
+type Rules struct {
+	// SufficiencyIncludesOwner: a request's needed set contains the
+	// current cache owner (it must supply or invalidate the data).
+	SufficiencyIncludesOwner bool
+	// SufficiencyIncludesSharers: a GetExclusive's needed set contains
+	// all Shared-state holders.
+	SufficiencyIncludesSharers bool
+	// GETXInvalidatesSharers: sharers that observe a GetExclusive
+	// invalidate their copies.
+	GETXInvalidatesSharers bool
+	// DirtyEvictionWritesBack: evicting an Owned/Modified copy updates
+	// memory.
+	DirtyEvictionWritesBack bool
+}
+
+// CorrectRules is the multicast snooping protocol as specified.
+func CorrectRules() Rules {
+	return Rules{
+		SufficiencyIncludesOwner:   true,
+		SufficiencyIncludesSharers: true,
+		GETXInvalidatesSharers:     true,
+		DirtyEvictionWritesBack:    true,
+	}
+}
+
+// Violation describes the first invariant failure found.
+type Violation struct {
+	State  State
+	Action string
+	Err    error
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("verify: after %s in state %s: %v", v.Action, v.State, v.Err)
+}
+
+// Result summarizes an exhaustive check.
+type Result struct {
+	States      int // distinct reachable states
+	Transitions int // transitions explored
+}
+
+// Check exhaustively explores all reachable states of an n-node system
+// under the given rules, trying every requester, request kind,
+// destination mask and eviction from every state. It returns the first
+// violation, or nil with exploration statistics.
+func Check(n int, rules Rules) (Result, *Violation) {
+	if n < 2 || n > MaxNodes {
+		panic(fmt.Sprintf("verify: node count %d out of range 2..%d", n, MaxNodes))
+	}
+	start := initial()
+	visited := map[State]bool{start: true}
+	queue := []State{start}
+	res := Result{States: 1}
+
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, tr := range transitions(s, n, rules) {
+			res.Transitions++
+			if err := checkInvariants(tr.next, n); err != nil {
+				return res, &Violation{State: s, Action: tr.action, Err: err}
+			}
+			if !visited[tr.next] {
+				visited[tr.next] = true
+				res.States++
+				queue = append(queue, tr.next)
+			}
+		}
+	}
+	return res, nil
+}
+
+type transition struct {
+	action string
+	next   State
+}
+
+// transitions enumerates every protocol action from state s: each node
+// issuing each request kind with each destination mask containing
+// itself, plus each possible eviction.
+func transitions(s State, n int, rules Rules) []transition {
+	var out []transition
+	masks := 1 << n
+	for p := 0; p < n; p++ {
+		st := s.Nodes[p].St
+		// GetShared: only nodes with no valid copy read-miss.
+		if st == cache.Invalid {
+			for m := 0; m < masks; m++ {
+				mask := nodeset.Set(m)
+				if !mask.Contains(nodeset.NodeID(p)) {
+					continue
+				}
+				out = append(out, transition{
+					action: fmt.Sprintf("GETS p%d mask=%v", p, mask),
+					next:   applyGETS(s, n, p, mask, rules),
+				})
+			}
+		}
+		// GetExclusive: anyone not already Modified write-misses.
+		if st != cache.Modified {
+			for m := 0; m < masks; m++ {
+				mask := nodeset.Set(m)
+				if !mask.Contains(nodeset.NodeID(p)) {
+					continue
+				}
+				out = append(out, transition{
+					action: fmt.Sprintf("GETX p%d mask=%v", p, mask),
+					next:   applyGETX(s, n, p, mask, rules),
+				})
+			}
+		}
+		// Eviction of any valid copy.
+		if st != cache.Invalid {
+			out = append(out, transition{
+				action: fmt.Sprintf("EVICT p%d (%v)", p, st),
+				next:   applyEvict(s, p, rules),
+			})
+		}
+	}
+	return out
+}
+
+// observed returns the final set of nodes that see the request: the
+// predicted mask, plus — via the home directory's reissue — whatever the
+// rules consider needed. With correct rules that is the true needed set,
+// which is why arbitrary predictions are safe.
+func observed(s State, n, req int, mask nodeset.Set, write bool, rules Rules) nodeset.Set {
+	needed := nodeset.Of(nodeset.NodeID(req))
+	if rules.SufficiencyIncludesOwner {
+		if o := s.owner(); o >= 0 {
+			needed = needed.Add(nodeset.NodeID(o))
+		}
+	}
+	if write && rules.SufficiencyIncludesSharers {
+		needed = needed.Union(s.sharers(n))
+	}
+	if mask.Superset(needed) {
+		return mask
+	}
+	return mask.Union(needed) // directory reissue
+}
+
+func applyGETS(s State, n, p int, mask nodeset.Set, rules Rules) State {
+	obs := observed(s, n, p, mask, false, rules)
+	next := s
+	o := s.owner()
+	var fresh bool
+	if o >= 0 && obs.Contains(nodeset.NodeID(o)) {
+		// Owner responds and keeps ownership, downgrading M to O.
+		fresh = s.Nodes[o].Fresh
+		if next.Nodes[o].St == cache.Modified {
+			next.Nodes[o].St = cache.Owned
+		}
+	} else {
+		// Memory responds (correct protocol: only when memory owns).
+		fresh = s.MemFresh
+	}
+	next.Nodes[p] = Copy{St: cache.Shared, Fresh: fresh}
+	return next
+}
+
+func applyGETX(s State, n, p int, mask nodeset.Set, rules Rules) State {
+	obs := observed(s, n, p, mask, true, rules)
+	next := s
+	o := s.owner()
+	// Data source: the owner if it observes the request, else memory.
+	base := s.MemFresh
+	if o >= 0 && obs.Contains(nodeset.NodeID(o)) {
+		base = s.Nodes[o].Fresh
+	}
+	if o == p {
+		base = s.Nodes[p].Fresh // upgrade in place
+	}
+	// Every observing node with a valid copy invalidates (the owner
+	// always does; sharers per the — possibly broken — rule).
+	for i := 0; i < n; i++ {
+		if i == p || !obs.Contains(nodeset.NodeID(i)) {
+			continue
+		}
+		switch s.Nodes[i].St {
+		case cache.Owned, cache.Modified:
+			next.Nodes[i] = Copy{}
+		case cache.Shared:
+			if rules.GETXInvalidatesSharers {
+				next.Nodes[i] = Copy{}
+			}
+		}
+	}
+	// The write creates a new version: every other copy and memory are
+	// now stale. The writer is fresh only if it wrote on a fresh base.
+	for i := 0; i < n; i++ {
+		if i != p && next.Nodes[i].St != cache.Invalid {
+			next.Nodes[i].Fresh = false
+		}
+	}
+	next.MemFresh = false
+	next.Nodes[p] = Copy{St: cache.Modified, Fresh: base}
+	return next
+}
+
+func applyEvict(s State, p int, rules Rules) State {
+	next := s
+	c := s.Nodes[p]
+	next.Nodes[p] = Copy{}
+	if c.St.Dirty() && rules.DirtyEvictionWritesBack {
+		next.MemFresh = c.Fresh
+	}
+	return next
+}
+
+// checkInvariants validates the coherence safety properties.
+func checkInvariants(s State, n int) error {
+	owners := 0
+	modified := -1
+	valid := 0
+	for i := 0; i < n; i++ {
+		c := s.Nodes[i]
+		if c.St == cache.Owned || c.St == cache.Modified {
+			owners++
+		}
+		if c.St == cache.Modified {
+			modified = i
+		}
+		if c.St != cache.Invalid {
+			valid++
+			if !c.Fresh {
+				return fmt.Errorf("node %d holds a stale %v copy", i, c.St)
+			}
+		}
+	}
+	if owners > 1 {
+		return fmt.Errorf("%d simultaneous owners", owners)
+	}
+	if modified >= 0 && valid > 1 {
+		return fmt.Errorf("Modified copy at node %d coexists with other copies", modified)
+	}
+	if owners == 0 && !s.MemFresh {
+		return fmt.Errorf("no cache owner but memory is stale")
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"destset/internal/cache"
+	"destset/internal/nodeset"
+)
+
+func TestCorrectProtocolIsSafe(t *testing.T) {
+	// The central safety property of destination-set prediction: with the
+	// correct sufficiency/reissue rules, EVERY destination mask — i.e.
+	// any prediction whatsoever — preserves the coherence invariants.
+	for _, n := range []int{2, 3, 4} {
+		res, v := Check(n, CorrectRules())
+		if v != nil {
+			t.Fatalf("n=%d: correct protocol violated invariants: %v", n, v)
+		}
+		if res.States < 4 || res.Transitions < res.States {
+			t.Errorf("n=%d: suspiciously small exploration: %+v", n, res)
+		}
+		t.Logf("n=%d: %d states, %d transitions verified", n, res.States, res.Transitions)
+	}
+}
+
+func TestMissingSharerInvalidationIsCaught(t *testing.T) {
+	rules := CorrectRules()
+	rules.GETXInvalidatesSharers = false
+	_, v := Check(3, rules)
+	if v == nil {
+		t.Fatal("checker missed the skipped-invalidation bug")
+	}
+	if !strings.Contains(v.Err.Error(), "stale") {
+		t.Errorf("expected a stale-copy violation, got: %v", v)
+	}
+}
+
+func TestSufficiencyWithoutSharersIsCaught(t *testing.T) {
+	// If the directory does not require sharers in a write's destination
+	// set, an unobserved sharer keeps a stale copy.
+	rules := CorrectRules()
+	rules.SufficiencyIncludesSharers = false
+	_, v := Check(3, rules)
+	if v == nil {
+		t.Fatal("checker missed the sharers-not-needed bug")
+	}
+}
+
+func TestSufficiencyWithoutOwnerIsCaught(t *testing.T) {
+	// If the owner need not observe requests, memory responds with stale
+	// data while a dirty copy exists elsewhere.
+	rules := CorrectRules()
+	rules.SufficiencyIncludesOwner = false
+	_, v := Check(3, rules)
+	if v == nil {
+		t.Fatal("checker missed the owner-not-needed bug")
+	}
+}
+
+func TestDroppedWritebackIsCaught(t *testing.T) {
+	rules := CorrectRules()
+	rules.DirtyEvictionWritesBack = false
+	_, v := Check(2, rules)
+	if v == nil {
+		t.Fatal("checker missed the dropped-writeback bug")
+	}
+	if !strings.Contains(v.Err.Error(), "memory is stale") &&
+		!strings.Contains(v.Err.Error(), "stale") {
+		t.Errorf("expected a memory-staleness violation, got: %v", v)
+	}
+}
+
+func TestViolationErrorRendersTrace(t *testing.T) {
+	rules := CorrectRules()
+	rules.GETXInvalidatesSharers = false
+	_, v := Check(2, rules)
+	if v == nil {
+		t.Fatal("expected a violation")
+	}
+	msg := v.Error()
+	for _, want := range []string{"verify:", "in state", "mem:"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("violation message %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	s := State{MemFresh: true}
+	s.Nodes[0] = Copy{St: cache.Modified, Fresh: true}
+	s.Nodes[1] = Copy{St: cache.Shared, Fresh: false}
+	got := s.String()
+	if !strings.Contains(got, "M ") || !strings.Contains(got, "S!") || !strings.Contains(got, "mem:fresh") {
+		t.Errorf("State.String() = %q", got)
+	}
+}
+
+func TestOwnerAndSharers(t *testing.T) {
+	var s State
+	if s.owner() != -1 {
+		t.Error("empty state should have no owner")
+	}
+	s.Nodes[2] = Copy{St: cache.Owned, Fresh: true}
+	s.Nodes[0] = Copy{St: cache.Shared, Fresh: true}
+	s.Nodes[1] = Copy{St: cache.Shared, Fresh: true}
+	if s.owner() != 2 {
+		t.Errorf("owner = %d, want 2", s.owner())
+	}
+	if got := s.sharers(3); got != nodeset.Of(0, 1) {
+		t.Errorf("sharers = %v", got)
+	}
+}
+
+func TestCheckPanicsOnBadSize(t *testing.T) {
+	for _, n := range []int{1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Check(%d) should panic", n)
+				}
+			}()
+			Check(n, CorrectRules())
+		}()
+	}
+}
+
+func TestInvariantDetails(t *testing.T) {
+	// Direct invariant checks on hand-built states.
+	var s State
+	s.MemFresh = true
+	s.Nodes[0] = Copy{St: cache.Modified, Fresh: true}
+	s.Nodes[1] = Copy{St: cache.Shared, Fresh: true}
+	if err := checkInvariants(s, 2); err == nil {
+		t.Error("M coexisting with S must violate")
+	}
+	var two State
+	two.Nodes[0] = Copy{St: cache.Owned, Fresh: true}
+	two.Nodes[1] = Copy{St: cache.Owned, Fresh: true}
+	if err := checkInvariants(two, 2); err == nil {
+		t.Error("two owners must violate")
+	}
+	var ok State
+	ok.Nodes[0] = Copy{St: cache.Owned, Fresh: true}
+	ok.Nodes[1] = Copy{St: cache.Shared, Fresh: true}
+	if err := checkInvariants(ok, 2); err != nil {
+		t.Errorf("O+S is legal MOSI: %v", err)
+	}
+}
