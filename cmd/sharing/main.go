@@ -4,7 +4,7 @@
 // Usage:
 //
 //	sharing [-warm N] [-misses N] [-seed S] [-workloads apache,oltp]
-//	        [-table2] [-fig2] [-fig3] [-fig4]
+//	        [-parallel N] [-table2] [-fig2] [-fig3] [-fig4]
 //
 // With no selection flags, everything is printed.
 package main
@@ -24,6 +24,7 @@ func main() {
 		misses    = flag.Int("misses", 300_000, "measured misses per workload")
 		seed      = flag.Uint64("seed", 1, "workload generation seed")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default all)")
+		parallel  = flag.Int("parallel", 0, "max concurrent workload generations (0 = all CPUs)")
 		table2    = flag.Bool("table2", false, "print Table 2 only")
 		fig2      = flag.Bool("fig2", false, "print Figure 2 only")
 		fig3      = flag.Bool("fig3", false, "print Figure 3 only")
@@ -35,6 +36,7 @@ func main() {
 	opt.Seed = *seed
 	opt.WarmMisses = *warm
 	opt.Misses = *misses
+	opt.Parallelism = *parallel
 	if *workloads != "" {
 		opt.Workloads = strings.Split(*workloads, ",")
 	}

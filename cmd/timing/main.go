@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	timing [-warm N] [-misses N] [-seed S] [-workloads a,b] [-fig7] [-fig8]
+//	timing [-warm N] [-misses N] [-seed S] [-workloads a,b] [-parallel N]
+//	       [-fig7] [-fig8]
+//
+// The per-protocol simulations of each figure run concurrently;
+// -parallel caps the worker pool.
 //
 // With no selection flags, both figures are printed.
 package main
@@ -24,6 +28,7 @@ func main() {
 		misses    = flag.Int("misses", 100_000, "timed misses per workload")
 		seed      = flag.Uint64("seed", 1, "workload generation seed")
 		workloads = flag.String("workloads", "", "comma-separated workload subset")
+		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = all CPUs)")
 		fig7      = flag.Bool("fig7", false, "print Figure 7 only")
 		fig8      = flag.Bool("fig8", false, "print Figure 8 only")
 		sweep     = flag.Bool("sweep", false, "print the link-bandwidth sweep (extension)")
@@ -35,6 +40,7 @@ func main() {
 	opt.Seed = *seed
 	opt.TimedWarmMisses = *warm
 	opt.TimedMisses = *misses
+	opt.Parallelism = *parallel
 	if *workloads != "" {
 		opt.Workloads = strings.Split(*workloads, ",")
 	}

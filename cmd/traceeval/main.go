@@ -4,8 +4,11 @@
 //
 // Usage:
 //
-//	traceeval [-warm N] [-misses N] [-seed S] [-workloads a,b]
+//	traceeval [-warm N] [-misses N] [-seed S] [-workloads a,b] [-parallel N]
 //	          [-fig5] [-fig6a] [-fig6b] [-fig6c]
+//
+// Every figure fans its engine × workload sweep over a worker pool (the
+// public destset.Runner); -parallel caps the pool.
 //
 // With no selection flags, everything is printed.
 package main
@@ -25,6 +28,7 @@ func main() {
 		misses    = flag.Int("misses", 300_000, "measured misses per workload")
 		seed      = flag.Uint64("seed", 1, "workload generation seed")
 		workloads = flag.String("workloads", "", "comma-separated workload subset for fig5 (default all)")
+		parallel  = flag.Int("parallel", 0, "max concurrent sweep cells (0 = all CPUs)")
 		fig5      = flag.Bool("fig5", false, "print Figure 5 only")
 		fig6a     = flag.Bool("fig6a", false, "print Figure 6(a) only")
 		fig6b     = flag.Bool("fig6b", false, "print Figure 6(b) only")
@@ -39,6 +43,7 @@ func main() {
 	opt.Seed = *seed
 	opt.WarmMisses = *warm
 	opt.Misses = *misses
+	opt.Parallelism = *parallel
 	if *workloads != "" {
 		opt.Workloads = strings.Split(*workloads, ",")
 	}

@@ -7,44 +7,68 @@
 //
 // Usage:
 //
-//	verify [-nodes N] [-inject bug]
+//	verify [-nodes N] [-inject bug] [-all] [-parallel N]
 //
 // where bug is one of: none (default), no-sharer-inval,
 // sufficiency-no-sharers, sufficiency-no-owner, no-writeback.
 // Injecting a bug demonstrates the checker finding the violating trace.
+// -all checks the correct protocol and every injectable bug concurrently
+// and reports the whole matrix: the correct rules must verify clean and
+// every injected bug must be caught.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"destset/internal/sweep"
 	"destset/internal/verify"
 )
 
+// injections maps bug names to rule mutations; "none" leaves the correct
+// rules intact.
+var injections = []struct {
+	name  string
+	apply func(*verify.Rules)
+}{
+	{"none", func(*verify.Rules) {}},
+	{"no-sharer-inval", func(r *verify.Rules) { r.GETXInvalidatesSharers = false }},
+	{"sufficiency-no-sharers", func(r *verify.Rules) { r.SufficiencyIncludesSharers = false }},
+	{"sufficiency-no-owner", func(r *verify.Rules) { r.SufficiencyIncludesOwner = false }},
+	{"no-writeback", func(r *verify.Rules) { r.DirtyEvictionWritesBack = false }},
+}
+
+func rulesFor(name string) (verify.Rules, bool) {
+	for _, inj := range injections {
+		if inj.name == name {
+			rules := verify.CorrectRules()
+			inj.apply(&rules)
+			return rules, true
+		}
+	}
+	return verify.Rules{}, false
+}
+
 func main() {
 	var (
-		nodes  = flag.Int("nodes", 4, "model size (2-4 nodes)")
-		inject = flag.String("inject", "none", "protocol bug to inject")
+		nodes    = flag.Int("nodes", 4, "model size (2-4 nodes)")
+		inject   = flag.String("inject", "none", "protocol bug to inject")
+		all      = flag.Bool("all", false, "check the correct protocol and every injectable bug")
+		parallel = flag.Int("parallel", 0, "max concurrent checks with -all (0 = all CPUs)")
 	)
 	flag.Parse()
 
-	rules := verify.CorrectRules()
-	switch *inject {
-	case "none":
-	case "no-sharer-inval":
-		rules.GETXInvalidatesSharers = false
-	case "sufficiency-no-sharers":
-		rules.SufficiencyIncludesSharers = false
-	case "sufficiency-no-owner":
-		rules.SufficiencyIncludesOwner = false
-	case "no-writeback":
-		rules.DirtyEvictionWritesBack = false
-	default:
+	if *all {
+		os.Exit(checkAll(*nodes, *parallel))
+	}
+
+	rules, ok := rulesFor(*inject)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "verify: unknown bug %q\n", *inject)
 		os.Exit(2)
 	}
-
 	res, v := verify.Check(*nodes, rules)
 	if v != nil {
 		fmt.Printf("VIOLATION after exploring %d states / %d transitions:\n  %v\n",
@@ -55,4 +79,44 @@ func main() {
 		res.States, res.Transitions)
 	fmt.Println("every destination-set prediction preserves coherence;")
 	fmt.Println("predictions affect performance, never correctness.")
+}
+
+// checkAll explores every injection concurrently and prints the matrix.
+// It returns the process exit code: 0 only if the correct protocol is
+// safe and every injected bug is caught.
+func checkAll(nodes, parallel int) int {
+	type outcome struct {
+		res verify.Result
+		v   *verify.Violation
+	}
+	outcomes := make([]outcome, len(injections))
+	err := sweep.ForEach(context.Background(), len(injections), parallel, func(i int) error {
+		rules, _ := rulesFor(injections[i].name)
+		res, v := verify.Check(nodes, rules)
+		outcomes[i] = outcome{res: res, v: v}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verify:", err)
+		return 1
+	}
+	exit := 0
+	fmt.Printf("%-24s %10s %12s  %s\n", "injection", "states", "transitions", "verdict")
+	for i, inj := range injections {
+		o := outcomes[i]
+		verdict := "SAFE"
+		if o.v != nil {
+			verdict = "violation caught"
+		}
+		switch {
+		case inj.name == "none" && o.v != nil:
+			verdict = "UNEXPECTED VIOLATION: " + o.v.Error()
+			exit = 1
+		case inj.name != "none" && o.v == nil:
+			verdict = "BUG NOT CAUGHT"
+			exit = 1
+		}
+		fmt.Printf("%-24s %10d %12d  %s\n", inj.name, o.res.States, o.res.Transitions, verdict)
+	}
+	return exit
 }

@@ -22,13 +22,28 @@
 //   - Timing: an execution-driven discrete-event model of the paper's
 //     16-node target system (internal/sim).
 //
+// The experiment API is built from three composable pieces:
+//
+//   - Specs: EngineSpec and WorkloadSpec are inert value descriptions of
+//     a protocol engine and a workload; registries (RegisterPolicy,
+//     RegisterWorkload, RegisterEngine) let callers add custom policies,
+//     presets and protocol engines that sweep exactly like the paper's.
+//   - Runner: fans a []EngineSpec × []WorkloadSpec × seeds cross-product
+//     over a worker pool, streams per-interval Observations to
+//     observers, honors context cancellation, and returns deterministic
+//     results at any parallelism.
+//   - EvaluatePolicy / Evaluate: one-call wrappers over the Runner for a
+//     single tradeoff point.
+//
 // The quickest start is EvaluatePolicy, which generates a workload,
 // warms a predictor bank and reports the latency/bandwidth tradeoff
-// point; see examples/ for full programs and cmd/ for the per-figure
-// experiment tools.
+// point; see README.md for a Runner walkthrough, examples/ for full
+// programs and cmd/ for the per-figure experiment tools.
 package destset
 
 import (
+	"context"
+
 	"destset/internal/coherence"
 	"destset/internal/nodeset"
 	"destset/internal/predictor"
@@ -204,38 +219,18 @@ type TradeoffResult struct {
 
 // EvaluatePolicy generates the named workload, warms the predictor bank
 // on warmMisses, measures measureMisses and returns the tradeoff point.
-// It is the one-call version of the paper's §4 methodology.
+// It is the one-call version of the paper's §4 methodology, kept as a
+// compatibility wrapper over the Runner: Broadcast maps to the snooping
+// engine, Minimal to the directory engine, and every other policy to
+// multicast snooping at the paper's standout predictor configuration.
+// For other engines (the predictive-directory hybrid, custom registered
+// protocols) or multi-cell sweeps, use Evaluate or Runner directly.
 func EvaluatePolicy(workloadName string, policy Policy, seed uint64, warmMisses, measureMisses int) (TradeoffResult, error) {
-	params, err := workload.Preset(workloadName, seed)
-	if err != nil {
-		return TradeoffResult{}, err
-	}
-	g, err := workload.New(params)
-	if err != nil {
-		return TradeoffResult{}, err
-	}
-	var eng protocol.Engine
-	switch policy {
-	case Broadcast:
-		eng = protocol.NewSnooping(params.Nodes)
-	case Minimal:
-		eng = protocol.NewDirectory()
-	default:
-		eng = protocol.NewMulticast(predictor.NewBank(predictor.DefaultConfig(policy, params.Nodes)))
-	}
-	for i := 0; i < warmMisses; i++ {
-		rec, mi := g.Next()
-		eng.Process(rec, mi)
-	}
-	var tot protocol.Totals
-	for i := 0; i < measureMisses; i++ {
-		rec, mi := g.Next()
-		tot.Add(eng.Process(rec, mi))
-	}
-	return TradeoffResult{
-		Config:             eng.Name(),
-		RequestMsgsPerMiss: tot.RequestMsgsPerMiss(),
-		IndirectionPercent: tot.IndirectionPercent(),
-		BytesPerMiss:       tot.BytesPerMiss(),
-	}, nil
+	return Evaluate(context.Background(),
+		SpecForPolicy(policy),
+		WorkloadSpec{Name: workloadName},
+		WithSeeds(seed),
+		WithWarmup(warmMisses),
+		WithMeasure(measureMisses),
+	)
 }

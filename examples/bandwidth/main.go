@@ -18,11 +18,9 @@ import (
 )
 
 func main() {
-	params, err := destset.NewWorkload("oltp", 1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	gen, err := destset.NewGenerator(params)
+	// The timing simulator consumes materialized traces; resolve the
+	// workload spec the same way the Runner does per sweep cell.
+	gen, err := destset.NewWorkloadGenerator(destset.WorkloadSpec{Name: "oltp"}, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,6 @@
-// Custompolicy: implement a new destination-set prediction policy against
-// the public Predictor interface and compare it with the paper's
-// policies under the multicast snooping engine.
+// Custompolicy: register a new destination-set prediction policy and
+// sweep it through the same high-level Runner as the paper's policies —
+// no internal package is touched.
 //
 // The custom "PairSet" policy remembers the last two distinct nodes seen
 // touching each macroblock and predicts both — a middle ground between
@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -77,40 +78,35 @@ func (p *pairSet) TrainRetry(destset.Retry) {}
 func (p *pairSet) Name() string { return "PairSet[1024B]" }
 
 func main() {
-	const nodes = 16
-	params, err := destset.NewWorkload("apache", 1)
+	// One registration makes "pairset" a first-class policy: EngineSpec
+	// can name it, the Runner sweeps it, and it composes with any
+	// registered protocol engine.
+	err := destset.RegisterPolicy("pairset", func(cfg destset.PredictorConfig) destset.Predictor {
+		return newPairSet(cfg.Nodes)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	gen, err := destset.NewGenerator(params)
-	if err != nil {
-		log.Fatal(err)
-	}
-	warm, warmInfos := gen.Generate(100_000)
-	timed, infos := gen.Generate(100_000)
 
-	// Build the custom bank alongside two paper policies.
-	custom := make([]destset.Predictor, nodes)
-	for i := range custom {
-		custom[i] = newPairSet(nodes)
+	engines := []destset.EngineSpec{
+		destset.SpecForPolicy(destset.Owner),
+		{PolicyName: "pairset"},
+		destset.SpecForPolicy(destset.Group),
 	}
-	engines := []destset.Engine{
-		destset.NewMulticastEngine(destset.NewPredictorBank(destset.DefaultPredictorConfig(destset.Owner, nodes))),
-		destset.NewMulticastEngine(custom),
-		destset.NewMulticastEngine(destset.NewPredictorBank(destset.DefaultPredictorConfig(destset.Group, nodes))),
+	results, err := destset.NewRunner(engines,
+		[]destset.WorkloadSpec{{Name: "apache"}},
+		destset.WithWarmup(100_000),
+		destset.WithMeasure(100_000),
+	).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Println("Apache: custom PairSet policy vs the paper's Owner and Group")
 	fmt.Printf("\n%-42s %14s %14s\n", "configuration", "req msgs/miss", "indirections")
-	for _, eng := range engines {
-		for i, rec := range warm.Records {
-			eng.Process(rec, warmInfos[i])
-		}
-		var tot destset.Totals
-		for i, rec := range timed.Records {
-			tot.Add(eng.Process(rec, infos[i]))
-		}
-		fmt.Printf("%-42s %14.2f %13.1f%%\n", eng.Name(), tot.RequestMsgsPerMiss(), tot.IndirectionPercent())
+	for _, res := range results {
+		fmt.Printf("%-42s %14.2f %13.1f%%\n",
+			res.Tradeoff.Config, res.Tradeoff.RequestMsgsPerMiss, res.Tradeoff.IndirectionPercent)
 	}
 	fmt.Println("\nPairSet should land between Owner (cheaper, more retries) and")
 	fmt.Println("Group (more traffic, fewer retries) on the tradeoff curve.")

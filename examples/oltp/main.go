@@ -1,7 +1,9 @@
 // OLTP: reproduce one panel of the paper's Figure 5 — the full protocol
 // and predictor comparison on the database workload that motivates the
 // paper (§1: commercial workloads have high miss rates and many
-// cache-to-cache misses).
+// cache-to-cache misses) — through a single concurrent Runner sweep.
+// The Acacio-style predictive-directory hybrid rides the same sweep as
+// the paper's engines.
 //
 // Run with:
 //
@@ -9,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,42 +24,38 @@ const (
 )
 
 func main() {
-	params, err := destset.NewWorkload("oltp", 1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	gen, err := destset.NewGenerator(params)
-	if err != nil {
-		log.Fatal(err)
-	}
-	// Generate once; replay the same annotated trace through every
-	// engine for a deterministic, like-for-like comparison (§2.1).
-	warm, warmInfos := gen.Generate(warmMisses)
-	timed, infos := gen.Generate(measureMisses)
-
-	engines := []destset.Engine{
-		destset.NewSnoopingEngine(params.Nodes),
-		destset.NewDirectoryEngine(),
+	// Every cell regenerates the OLTP trace from the same seed, so the
+	// engines see identical misses — a deterministic, like-for-like
+	// comparison (§2.1) — while the sweep fans out over all CPUs.
+	engines := []destset.EngineSpec{
+		{Protocol: destset.ProtocolSnooping},
+		{Protocol: destset.ProtocolDirectory},
 	}
 	for _, policy := range []destset.Policy{
 		destset.Owner, destset.BroadcastIfShared, destset.Group, destset.OwnerGroup,
 	} {
-		bank := destset.NewPredictorBank(destset.DefaultPredictorConfig(policy, params.Nodes))
-		engines = append(engines, destset.NewMulticastEngine(bank))
+		engines = append(engines, destset.SpecForPolicy(policy))
+	}
+	// The other hybrid style the paper contrasts (§1, §6): owner
+	// prediction layered on a directory protocol.
+	engines = append(engines, destset.EngineSpec{
+		Protocol:   destset.ProtocolPredictiveDirectory,
+		PolicyName: "owner",
+	})
+
+	results, err := destset.NewRunner(engines,
+		[]destset.WorkloadSpec{{Name: "oltp", Warm: warmMisses, Measure: measureMisses}},
+	).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Printf("OLTP (%d warm + %d measured misses)\n\n", warmMisses, measureMisses)
 	fmt.Printf("%-42s %14s %14s %12s\n", "configuration", "req msgs/miss", "indirections", "bytes/miss")
-	for _, eng := range engines {
-		for i, rec := range warm.Records {
-			eng.Process(rec, warmInfos[i])
-		}
-		var tot destset.Totals
-		for i, rec := range timed.Records {
-			tot.Add(eng.Process(rec, infos[i]))
-		}
+	for _, res := range results {
 		fmt.Printf("%-42s %14.2f %13.1f%% %12.1f\n",
-			eng.Name(), tot.RequestMsgsPerMiss(), tot.IndirectionPercent(), tot.BytesPerMiss())
+			res.Tradeoff.Config, res.Tradeoff.RequestMsgsPerMiss,
+			res.Tradeoff.IndirectionPercent, res.Tradeoff.BytesPerMiss)
 	}
 
 	fmt.Println("\nExpected shape (paper Figure 5, OLTP panel):")
@@ -64,4 +63,5 @@ func main() {
 	fmt.Println("  directory:  ~2 msgs/miss, ~73% indirections (bandwidth extreme)")
 	fmt.Println("  predictors: in between — Owner near directory bandwidth,")
 	fmt.Println("              BroadcastIfShared near snooping latency, Group balanced")
+	fmt.Println("  pred. dir.: directory bandwidth, indirections cut by owner hits")
 }

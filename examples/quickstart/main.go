@@ -1,5 +1,6 @@
 // Quickstart: build a destination-set predictor, train it by hand, and
-// run the one-call workload evaluation.
+// sweep three prediction policies through the concurrent experiment
+// Runner.
 //
 // Run with:
 //
@@ -7,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,16 +39,28 @@ func main() {
 	pred.TrainResponse(destset.Response{Addr: 0x1000, Responder: 11})
 	fmt.Println("trained prediction:", pred.Predict(query))
 
-	// The one-call evaluation reproduces a paper §4 data point: generate
-	// the OLTP workload, warm the predictor bank, and measure the
-	// latency/bandwidth tradeoff.
+	// The Runner reproduces paper §4 data points: each engine spec is
+	// evaluated on the OLTP workload (warm the predictor bank, measure
+	// the tradeoff), fanned over a worker pool. Results come back in
+	// spec order no matter how the cells are scheduled.
+	engines := []destset.EngineSpec{
+		destset.SpecForPolicy(destset.Minimal),
+		destset.SpecForPolicy(destset.Owner),
+		destset.SpecForPolicy(destset.Broadcast),
+	}
+	workloads := []destset.WorkloadSpec{{Name: "oltp"}}
+	results, err := destset.NewRunner(engines, workloads,
+		destset.WithSeeds(1),
+		destset.WithWarmup(50_000),
+		destset.WithMeasure(50_000),
+	).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println()
-	for _, policy := range []destset.Policy{destset.Minimal, destset.Owner, destset.Broadcast} {
-		res, err := destset.EvaluatePolicy("oltp", policy, 1, 50_000, 50_000)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, res := range results {
 		fmt.Printf("%-32s %5.2f request msgs/miss, %5.1f%% indirections\n",
-			res.Config, res.RequestMsgsPerMiss, res.IndirectionPercent)
+			res.Tradeoff.Config, res.Tradeoff.RequestMsgsPerMiss, res.Tradeoff.IndirectionPercent)
 	}
 }

@@ -21,11 +21,9 @@ const (
 )
 
 func main() {
-	params, err := destset.NewWorkload("apache", 1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	gen, err := destset.NewGenerator(params)
+	// The timing simulator consumes materialized traces; resolve the
+	// workload spec the same way the Runner does per sweep cell.
+	gen, err := destset.NewWorkloadGenerator(destset.WorkloadSpec{Name: "apache"}, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

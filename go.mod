@@ -1,0 +1,3 @@
+module destset
+
+go 1.24

@@ -16,11 +16,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"destset"
 	"destset/internal/coherence"
 	"destset/internal/nodeset"
 	"destset/internal/predictor"
+	"destset/internal/sweep"
 	"destset/internal/trace"
 	"destset/internal/workload"
 )
@@ -44,6 +47,10 @@ type Options struct {
 	TimedMisses int
 	// Workloads restricts the benchmark set (default: all six).
 	Workloads []string
+	// Parallelism caps concurrently-evaluated sweep cells and dataset
+	// generations; <=0 uses GOMAXPROCS. Results are identical at every
+	// parallelism.
+	Parallelism int
 }
 
 // DefaultOptions returns the scale used for the committed EXPERIMENTS.md
@@ -115,36 +122,131 @@ func NewDataset(p workload.Params, warm, measure int) (*Dataset, error) {
 	}, nil
 }
 
+// datasets generates every selected workload's dataset, fanning the
+// generation over a worker pool (each dataset is an independent seeded
+// generator, so the output is identical at any parallelism).
 func (o Options) datasets() ([]*Dataset, error) {
 	params, err := o.workloads()
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*Dataset, 0, len(params))
-	for _, p := range params {
-		d, err := NewDataset(p, o.WarmMisses, o.Misses)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, d)
+	out := make([]*Dataset, len(params))
+	err = sweep.ForEach(context.Background(), len(params), o.Parallelism, func(i int) error {
+		d, err := NewDataset(params[i], o.WarmMisses, o.Misses)
+		out[i] = d
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// standoutPredictors returns the paper's four policies at the standout
-// configuration (8192 entries, 1024-byte macroblocks, §4.3).
-func standoutPredictors(nodes int) []predictor.Config {
+// replayStream replays a dataset's warm region then its measured region
+// through a fresh cursor, so many engines can train and measure on the
+// same annotated trace concurrently.
+type replayStream struct {
+	d *Dataset
+	i int
+}
+
+func (r *replayStream) Next() (trace.Record, coherence.MissInfo) {
+	warm := len(r.d.Warm.Records)
+	if r.i < warm {
+		rec, mi := r.d.Warm.Records[r.i], r.d.WarmInfos[r.i]
+		r.i++
+		return rec, mi
+	}
+	j := r.i - warm
+	rec, mi := r.d.Trace.Records[j], r.d.Infos[j]
+	r.i++
+	return rec, mi
+}
+
+// explicitScale marks a zero miss count as "explicitly none" for
+// WorkloadSpec, whose 0 means "inherit the runner default".
+func explicitScale(n int) int {
+	if n == 0 {
+		return -1
+	}
+	return n
+}
+
+// ReplaySpec adapts the dataset for the public Runner: the sweep replays
+// the already-generated warm and measured regions instead of
+// regenerating them, which keeps every engine's comparison like-for-like
+// on the identical trace.
+func (d *Dataset) ReplaySpec() destset.WorkloadSpec {
+	return destset.WorkloadSpec{
+		Name:    d.Params.Name,
+		Nodes:   d.Params.Nodes,
+		Warm:    explicitScale(len(d.Warm.Records)),
+		Measure: explicitScale(len(d.Trace.Records)),
+		Open: func(uint64) (destset.Stream, error) {
+			return &replayStream{d: d}, nil
+		},
+	}
+}
+
+// baselineSpecs returns the two protocol extremes every figure anchors
+// on: broadcast snooping and the directory protocol.
+func baselineSpecs() []destset.EngineSpec {
+	return []destset.EngineSpec{
+		{Protocol: destset.ProtocolSnooping},
+		{Protocol: destset.ProtocolDirectory},
+	}
+}
+
+// standoutSpecs returns the paper's four policies at the standout
+// configuration (8192 entries, 1024-byte macroblocks, §4.3) as engine
+// specs for the public Runner.
+func standoutSpecs() []destset.EngineSpec {
 	policies := []predictor.Policy{
 		predictor.Owner,
 		predictor.BroadcastIfShared,
 		predictor.Group,
 		predictor.OwnerGroup,
 	}
-	cfgs := make([]predictor.Config, len(policies))
+	specs := make([]destset.EngineSpec, len(policies))
 	for i, pol := range policies {
-		cfgs[i] = predictor.DefaultConfig(pol, nodes)
+		specs[i] = destset.EngineSpec{Policy: pol, UsePolicy: true}
 	}
-	return cfgs
+	return specs
+}
+
+// runTradeoff sweeps the engine specs over the datasets through the
+// public Runner and converts each cell into a tradeoff point, grouped
+// per dataset in spec order.
+func runTradeoff(opt Options, datasets []*Dataset, specs []destset.EngineSpec) ([][]TradeoffPoint, error) {
+	workloads := make([]destset.WorkloadSpec, len(datasets))
+	for i, d := range datasets {
+		workloads[i] = d.ReplaySpec()
+	}
+	res, err := destset.NewRunner(specs, workloads,
+		destset.WithSeeds(opt.Seed),
+		destset.WithParallelism(opt.Parallelism),
+	).Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	if len(res) != len(specs)*len(datasets) {
+		return nil, fmt.Errorf("experiments: sweep returned %d cells, want %d", len(res), len(specs)*len(datasets))
+	}
+	out := make([][]TradeoffPoint, len(datasets))
+	for wi := range datasets {
+		pts := make([]TradeoffPoint, len(specs))
+		for ei := range specs {
+			r := res[wi*len(specs)+ei]
+			pts[ei] = TradeoffPoint{
+				Config:         r.Tradeoff.Config,
+				MsgsPerMiss:    r.Tradeoff.RequestMsgsPerMiss,
+				IndirectionPct: r.Tradeoff.IndirectionPercent,
+				BytesPerMiss:   r.Tradeoff.BytesPerMiss,
+			}
+		}
+		out[wi] = pts
+	}
+	return out, nil
 }
 
 // requesterOf is a small helper shared by the harnesses.

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"destset"
 	"destset/internal/predictor"
-	"destset/internal/protocol"
 	"destset/internal/sim"
+	"destset/internal/sweep"
 )
 
 // The experiments in this file go beyond the paper's figures into the
@@ -53,27 +55,35 @@ func BandwidthSweep(opt Options, bandwidthsBytesPerNs []float64) ([]BandwidthPoi
 	if err != nil {
 		return nil, err
 	}
-	var out []BandwidthPoint
+	var cfgs []sim.Config
 	for _, bw := range bandwidthsBytesPerNs {
-		cfgs := []sim.Config{
+		for _, base := range []sim.Config{
 			sim.DefaultConfig(sim.Snooping),
 			sim.DefaultConfig(sim.Directory),
+		} {
+			base.Interconnect.BytesPerNs = bw
+			cfgs = append(cfgs, base)
 		}
 		mc := sim.DefaultConfig(sim.Multicast)
 		mc.Predictor = predictor.DefaultConfig(predictor.Group, d.Params.Nodes)
+		mc.Interconnect.BytesPerNs = bw
 		cfgs = append(cfgs, mc)
-		for _, cfg := range cfgs {
-			cfg.Interconnect.BytesPerNs = bw
-			res, err := sim.Run(cfg, d.Warm, d.Trace)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, BandwidthPoint{
-				Config:     cfg.Name(),
-				BytesPerNs: bw,
-				RuntimeNs:  res.RuntimeNs,
-			})
+	}
+	out := make([]BandwidthPoint, len(cfgs))
+	err = sweep.ForEach(context.Background(), len(cfgs), opt.Parallelism, func(i int) error {
+		res, err := sim.Run(cfgs[i], d.Warm, d.Trace)
+		if err != nil {
+			return err
 		}
+		out[i] = BandwidthPoint{
+			Config:     cfgs[i].Name(),
+			BytesPerNs: cfgs[i].Interconnect.BytesPerNs,
+			RuntimeNs:  res.RuntimeNs,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -82,7 +92,8 @@ func BandwidthSweep(opt Options, bandwidthsBytesPerNs []float64) ([]BandwidthPoi
 // introduction contrasts — multicast snooping with destination-set
 // prediction versus owner prediction on a directory protocol — against
 // the snooping and directory extremes, trace-driven on every selected
-// workload.
+// workload. The predictive-directory hybrid rides the same Runner sweep
+// as every other engine.
 func HybridComparison(opt Options) ([]WorkloadTradeoff, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
@@ -91,18 +102,23 @@ func HybridComparison(opt Options) ([]WorkloadTradeoff, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]WorkloadTradeoff, 0, len(datasets))
-	for _, d := range datasets {
-		nodes := d.Params.Nodes
-		ownerCfg := predictor.DefaultConfig(predictor.Owner, nodes)
-		wt := WorkloadTradeoff{Workload: d.Params.Name}
-		wt.Points = append(wt.Points,
-			evalEngine(d, protocol.NewSnooping(nodes)),
-			evalEngine(d, protocol.NewDirectory()),
-			evalEngine(d, protocol.NewPredictiveDirectory(predictor.NewBank(ownerCfg))),
-			evalEngine(d, protocol.NewMulticast(predictor.NewBank(ownerCfg))),
-		)
-		out = append(out, wt)
+	specs := append(baselineSpecs(),
+		destset.EngineSpec{
+			Protocol: destset.ProtocolPredictiveDirectory,
+			Policy:   predictor.Owner, UsePolicy: true,
+		},
+		destset.EngineSpec{
+			Protocol: destset.ProtocolMulticast,
+			Policy:   predictor.Owner, UsePolicy: true,
+		},
+	)
+	panels, err := runTradeoff(opt, datasets, specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WorkloadTradeoff, len(datasets))
+	for i, d := range datasets {
+		out[i] = WorkloadTradeoff{Workload: d.Params.Name, Points: panels[i]}
 	}
 	return out, nil
 }
@@ -118,18 +134,18 @@ func OracleLimit(opt Options) ([]WorkloadTradeoff, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]WorkloadTradeoff, 0, len(datasets))
-	for _, d := range datasets {
-		nodes := d.Params.Nodes
-		wt := WorkloadTradeoff{Workload: d.Params.Name}
-		wt.Points = append(wt.Points,
-			evalEngine(d, protocol.NewMulticast(predictor.NewBank(predictor.Config{
-				Policy: predictor.Oracle, Nodes: nodes,
-			}))),
-			evalEngine(d, protocol.NewMulticast(predictor.NewBank(predictor.DefaultConfig(predictor.OwnerGroup, nodes)))),
-			evalEngine(d, protocol.NewMulticast(predictor.NewBank(predictor.DefaultConfig(predictor.Group, nodes)))),
-		)
-		out = append(out, wt)
+	specs := []destset.EngineSpec{
+		predictorSpec(predictor.Config{Policy: predictor.Oracle}),
+		{Policy: predictor.OwnerGroup, UsePolicy: true},
+		{Policy: predictor.Group, UsePolicy: true},
+	}
+	panels, err := runTradeoff(opt, datasets, specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WorkloadTradeoff, len(datasets))
+	for i, d := range datasets {
+		out[i] = WorkloadTradeoff{Workload: d.Params.Name, Points: panels[i]}
 	}
 	return out, nil
 }
@@ -139,17 +155,20 @@ func OracleLimit(opt Options) ([]WorkloadTradeoff, error) {
 // the sweep shows the tradeoff it balances: fast decay evicts live
 // sharers (more retries), slow decay keeps dead ones (more traffic).
 func AblationRollover(opt Options, limits []int) ([]TradeoffPoint, error) {
-	d, err := sensitivityWorkload(opt)
+	specs := baselineSpecs()
+	for _, lim := range limits {
+		cfg := predictor.DefaultConfig(predictor.Group, 0)
+		cfg.GroupRollover = lim
+		spec := predictorSpec(cfg)
+		spec.Label = fmt.Sprintf("group/roll%d", lim)
+		specs = append(specs, spec)
+	}
+	points, err := sensitivityPoints(opt, specs)
 	if err != nil {
 		return nil, err
 	}
-	points := baselines(d)
-	for _, lim := range limits {
-		cfg := predictor.DefaultConfig(predictor.Group, d.Params.Nodes)
-		cfg.GroupRollover = lim
-		pt := evalPredictor(d, cfg)
-		pt.Config += fmt.Sprintf("/roll%d", lim)
-		points = append(points, pt)
+	for i, lim := range limits {
+		points[2+i].Config += fmt.Sprintf("/roll%d", lim)
 	}
 	return points, nil
 }
@@ -159,17 +178,20 @@ func AblationRollover(opt Options, limits []int) ([]TradeoffPoint, error) {
 // set-associative implementations" (§3.5); the sweep quantifies what
 // associativity buys over direct-mapped tables.
 func AblationAssociativity(opt Options, ways []int) ([]TradeoffPoint, error) {
-	d, err := sensitivityWorkload(opt)
+	specs := baselineSpecs()
+	for _, w := range ways {
+		cfg := predictor.DefaultConfig(predictor.OwnerGroup, 0)
+		cfg.Ways = w
+		spec := predictorSpec(cfg)
+		spec.Label = fmt.Sprintf("ownergroup/ways%d", w)
+		specs = append(specs, spec)
+	}
+	points, err := sensitivityPoints(opt, specs)
 	if err != nil {
 		return nil, err
 	}
-	points := baselines(d)
-	for _, w := range ways {
-		cfg := predictor.DefaultConfig(predictor.OwnerGroup, d.Params.Nodes)
-		cfg.Ways = w
-		pt := evalPredictor(d, cfg)
-		pt.Config += fmt.Sprintf("/ways%d", w)
-		points = append(points, pt)
+	for i, w := range ways {
+		points[2+i].Config += fmt.Sprintf("/ways%d", w)
 	}
 	return points, nil
 }
@@ -177,19 +199,13 @@ func AblationAssociativity(opt Options, ways []int) ([]TradeoffPoint, error) {
 // MacroblockSweep extends Figure 6(b) with larger macroblocks, verifying
 // the paper's remark that sizes beyond 1024 bytes add little (§4.4).
 func MacroblockSweep(opt Options, sizes []int) ([]TradeoffPoint, error) {
-	d, err := sensitivityWorkload(opt)
-	if err != nil {
-		return nil, err
-	}
-	points := baselines(d)
+	specs := baselineSpecs()
 	for _, mb := range sizes {
-		cfg := predictor.Config{
+		specs = append(specs, predictorSpec(predictor.Config{
 			Policy:   predictor.OwnerGroup,
-			Nodes:    d.Params.Nodes,
 			Entries:  0,
 			Indexing: predictor.Indexing{Mode: predictor.ByBlock, MacroblockBytes: mb},
-		}
-		points = append(points, evalPredictor(d, cfg))
+		}))
 	}
-	return points, nil
+	return sensitivityPoints(opt, specs)
 }

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
+
 	"destset/internal/predictor"
 	"destset/internal/sim"
+	"destset/internal/sweep"
 )
 
 // TimingPoint is one point on the Figure 7/8 plane: runtime normalized to
@@ -60,24 +63,34 @@ func runTiming(opt Options, name string, cpu sim.CPUModel) (WorkloadTiming, erro
 	}
 	wt := WorkloadTiming{Workload: name}
 	var dirRuntime, snoopTraffic float64
-	for _, cfg := range timingConfigs(cpu, d.Params.Nodes) {
-		res, err := sim.Run(cfg, d.Warm, d.Trace)
+	cfgs := timingConfigs(cpu, d.Params.Nodes)
+	// The execution-driven runs dominate experiment time; each protocol
+	// configuration simulates the same read-only dataset independently,
+	// so they fan out over the worker pool with deterministic results.
+	wt.Points = make([]TimingPoint, len(cfgs))
+	err = sweep.ForEach(context.Background(), len(cfgs), opt.Parallelism, func(i int) error {
+		res, err := sim.Run(cfgs[i], d.Warm, d.Trace)
 		if err != nil {
-			return WorkloadTiming{}, err
+			return err
 		}
-		pt := TimingPoint{
-			Config:       cfg.Name(),
+		wt.Points[i] = TimingPoint{
+			Config:       cfgs[i].Name(),
 			RuntimeNs:    res.RuntimeNs,
 			BytesPerMiss: res.BytesPerMiss(),
 			AvgLatencyNs: res.AvgMissLatencyNs,
 		}
+		return nil
+	})
+	if err != nil {
+		return WorkloadTiming{}, err
+	}
+	for i, cfg := range cfgs {
 		switch cfg.Protocol {
 		case sim.Directory:
-			dirRuntime = res.RuntimeNs
+			dirRuntime = wt.Points[i].RuntimeNs
 		case sim.Snooping:
-			snoopTraffic = res.BytesPerMiss()
+			snoopTraffic = wt.Points[i].BytesPerMiss
 		}
-		wt.Points = append(wt.Points, pt)
 	}
 	for i := range wt.Points {
 		if dirRuntime > 0 {

@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"destset"
 	"destset/internal/predictor"
-	"destset/internal/protocol"
 	"destset/internal/trace"
 )
 
@@ -22,28 +22,10 @@ type WorkloadTradeoff struct {
 	Points   []TradeoffPoint
 }
 
-// evalEngine replays a dataset through an engine: the warm region trains
-// predictors without being measured, then the measured region is
-// accounted.
-func evalEngine(d *Dataset, eng protocol.Engine) TradeoffPoint {
-	for i, rec := range d.Warm.Records {
-		eng.Process(rec, d.WarmInfos[i])
-	}
-	var tot protocol.Totals
-	for i, rec := range d.Trace.Records {
-		tot.Add(eng.Process(rec, d.Infos[i]))
-	}
-	return TradeoffPoint{
-		Config:         eng.Name(),
-		MsgsPerMiss:    tot.RequestMsgsPerMiss(),
-		IndirectionPct: tot.IndirectionPercent(),
-		BytesPerMiss:   tot.BytesPerMiss(),
-	}
-}
-
 // Figure5 reproduces the standout predictor comparison: snooping,
 // directory and the four policies at 8192 entries with 1024-byte
-// macroblock indexing, for every workload (§4.3).
+// macroblock indexing, for every workload (§4.3). All cells fan out
+// through the public Runner.
 func Figure5(opt Options) ([]WorkloadTradeoff, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
@@ -52,17 +34,14 @@ func Figure5(opt Options) ([]WorkloadTradeoff, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]WorkloadTradeoff, 0, len(datasets))
-	for _, d := range datasets {
-		wt := WorkloadTradeoff{Workload: d.Params.Name}
-		wt.Points = append(wt.Points,
-			evalEngine(d, protocol.NewSnooping(d.Params.Nodes)),
-			evalEngine(d, protocol.NewDirectory()),
-		)
-		for _, pc := range standoutPredictors(d.Params.Nodes) {
-			wt.Points = append(wt.Points, evalEngine(d, protocol.NewMulticast(predictor.NewBank(pc))))
-		}
-		out = append(out, wt)
+	specs := append(baselineSpecs(), standoutSpecs()...)
+	panels, err := runTradeoff(opt, datasets, specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WorkloadTradeoff, len(datasets))
+	for i, d := range datasets {
+		out[i] = WorkloadTradeoff{Workload: d.Params.Name, Points: panels[i]}
 	}
 	return out, nil
 }
@@ -85,88 +64,78 @@ var sensitivityPolicies = []predictor.Policy{
 	predictor.OwnerGroup,
 }
 
-func evalPredictor(d *Dataset, cfg predictor.Config) TradeoffPoint {
-	return evalEngine(d, protocol.NewMulticast(predictor.NewBank(cfg)))
+// predictorSpec wraps an explicit predictor configuration as a multicast
+// engine spec.
+func predictorSpec(cfg predictor.Config) destset.EngineSpec {
+	c := cfg
+	return destset.EngineSpec{Predictor: &c}
 }
 
-func baselines(d *Dataset) []TradeoffPoint {
-	return []TradeoffPoint{
-		evalEngine(d, protocol.NewSnooping(d.Params.Nodes)),
-		evalEngine(d, protocol.NewDirectory()),
+// sensitivityPoints sweeps the specs over the OLTP sensitivity dataset.
+func sensitivityPoints(opt Options, specs []destset.EngineSpec) ([]TradeoffPoint, error) {
+	d, err := sensitivityWorkload(opt)
+	if err != nil {
+		return nil, err
 	}
+	panels, err := runTradeoff(opt, []*Dataset{d}, specs)
+	if err != nil {
+		return nil, err
+	}
+	return panels[0], nil
 }
 
 // Figure6a compares data-block (64B) and PC indexing with unbounded
 // predictors on OLTP (§4.4).
 func Figure6a(opt Options) ([]TradeoffPoint, error) {
-	d, err := sensitivityWorkload(opt)
-	if err != nil {
-		return nil, err
-	}
-	points := baselines(d)
+	specs := baselineSpecs()
 	for _, pol := range sensitivityPolicies {
 		for _, ix := range []predictor.Indexing{
 			{Mode: predictor.ByBlock, MacroblockBytes: trace.BlockBytes},
 			{Mode: predictor.ByPC},
 		} {
-			cfg := predictor.Config{Policy: pol, Nodes: d.Params.Nodes, Entries: 0, Indexing: ix}
-			points = append(points, evalPredictor(d, cfg))
+			specs = append(specs, predictorSpec(predictor.Config{Policy: pol, Entries: 0, Indexing: ix}))
 		}
 	}
-	return points, nil
+	return sensitivityPoints(opt, specs)
 }
 
 // Figure6b compares 64B, 256B and 1024B macroblock indexing with
 // unbounded predictors on OLTP (§4.4).
 func Figure6b(opt Options) ([]TradeoffPoint, error) {
-	d, err := sensitivityWorkload(opt)
-	if err != nil {
-		return nil, err
-	}
-	points := baselines(d)
+	specs := baselineSpecs()
 	for _, pol := range sensitivityPolicies {
 		for _, mb := range []int{64, 256, 1024} {
-			cfg := predictor.Config{
+			specs = append(specs, predictorSpec(predictor.Config{
 				Policy:   pol,
-				Nodes:    d.Params.Nodes,
 				Entries:  0,
 				Indexing: predictor.Indexing{Mode: predictor.ByBlock, MacroblockBytes: mb},
-			}
-			points = append(points, evalPredictor(d, cfg))
+			}))
 		}
 	}
-	return points, nil
+	return sensitivityPoints(opt, specs)
 }
 
 // Figure6c compares unbounded, 32768-entry and 8192-entry predictors
 // (1024B macroblocks) and the prior-work StickySpatial(1) baseline across
 // sizes, on OLTP (§4.4).
 func Figure6c(opt Options) ([]TradeoffPoint, error) {
-	d, err := sensitivityWorkload(opt)
-	if err != nil {
-		return nil, err
-	}
-	points := baselines(d)
+	specs := baselineSpecs()
 	for _, pol := range sensitivityPolicies {
 		for _, entries := range []int{0, 32768, 8192} {
-			cfg := predictor.Config{
+			specs = append(specs, predictorSpec(predictor.Config{
 				Policy:   pol,
-				Nodes:    d.Params.Nodes,
 				Entries:  entries,
 				Ways:     4,
 				Indexing: predictor.Indexing{Mode: predictor.ByBlock, MacroblockBytes: trace.MacroblockBytes},
-			}
-			points = append(points, evalPredictor(d, cfg))
+			}))
 		}
 	}
 	for _, entries := range []int{4096, 8192, 32768} {
-		cfg := predictor.Config{
+		specs = append(specs, predictorSpec(predictor.Config{
 			Policy:   predictor.StickySpatial,
-			Nodes:    d.Params.Nodes,
 			Entries:  entries,
 			Indexing: predictor.Indexing{Mode: predictor.ByBlock, MacroblockBytes: trace.BlockBytes},
-		}
-		points = append(points, evalPredictor(d, cfg))
+		}))
 	}
-	return points, nil
+	return sensitivityPoints(opt, specs)
 }

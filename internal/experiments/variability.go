@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"destset/internal/sim"
+	"destset/internal/sweep"
 )
 
 // The paper addresses the runtime variability of commercial workloads by
@@ -55,39 +57,55 @@ func Figure7Variability(opt Options, workloadName string, runs int) ([]Variabili
 		runs = 1
 	}
 	cfgs := timingConfigs(sim.SimpleCPU, 16)
-	runtimes := make(map[string][]float64, len(cfgs))
-	traffic := make(map[string][]float64, len(cfgs))
 	order := make([]string, 0, len(cfgs))
 	for _, cfg := range cfgs {
 		order = append(order, cfg.Name())
 	}
 
-	for r := 0; r < runs; r++ {
+	// Perturbed runs are independent (each regenerates its own dataset
+	// from a shifted seed), so they fan out over the worker pool; the
+	// per-run results land in run-indexed slots for deterministic
+	// aggregation.
+	perRunRuntime := make([][]float64, runs)
+	perRunTraffic := make([][]float64, runs)
+	err := sweep.ForEach(context.Background(), runs, opt.Parallelism, func(r int) error {
 		o := opt
 		o.Seed = opt.Seed + uint64(r)
 		o.Workloads = []string{workloadName}
 		params, err := o.workloads()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		d, err := NewDataset(params[0], opt.TimedWarmMisses, opt.TimedMisses)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, cfg := range cfgs {
+		perRunRuntime[r] = make([]float64, len(cfgs))
+		perRunTraffic[r] = make([]float64, len(cfgs))
+		for i, cfg := range cfgs {
 			res, err := sim.Run(cfg, d.Warm, d.Trace)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			runtimes[cfg.Name()] = append(runtimes[cfg.Name()], res.RuntimeNs)
-			traffic[cfg.Name()] = append(traffic[cfg.Name()], res.BytesPerMiss())
+			perRunRuntime[r][i] = res.RuntimeNs
+			perRunTraffic[r][i] = res.BytesPerMiss()
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	out := make([]VariabilityPoint, 0, len(order))
-	for _, name := range order {
-		mean, stddev := MeanStddev(runtimes[name])
-		bpm, _ := MeanStddev(traffic[name])
+	for i, name := range order {
+		runtimes := make([]float64, runs)
+		traffic := make([]float64, runs)
+		for r := 0; r < runs; r++ {
+			runtimes[r] = perRunRuntime[r][i]
+			traffic[r] = perRunTraffic[r][i]
+		}
+		mean, stddev := MeanStddev(runtimes)
+		bpm, _ := MeanStddev(traffic)
 		cv := 0.0
 		if mean > 0 {
 			cv = stddev / mean

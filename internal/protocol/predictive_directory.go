@@ -22,7 +22,10 @@ import (
 // comparing the two hybrid styles on equal workloads.
 type PredictiveDirectory struct {
 	preds []predictor.Predictor
-	stats PredictiveDirectoryStats
+	// newBank rebuilds the predictor bank for Reset/Clone; nil when the
+	// engine wraps a caller-owned bank.
+	newBank func() []predictor.Predictor
+	stats   PredictiveDirectoryStats
 }
 
 // PredictiveDirectoryStats counts prediction outcomes.
@@ -47,9 +50,39 @@ func NewPredictiveDirectory(preds []predictor.Predictor) *PredictiveDirectory {
 	return &PredictiveDirectory{preds: preds}
 }
 
+// NewPredictiveDirectoryWithFactory builds the hybrid engine over a
+// predictor-bank factory, enabling full-fidelity Reset and independent
+// Clone: every call must return a fresh, untrained bank.
+func NewPredictiveDirectoryWithFactory(newBank func() []predictor.Predictor) *PredictiveDirectory {
+	if newBank == nil {
+		panic("protocol: nil predictor bank factory")
+	}
+	p := NewPredictiveDirectory(newBank())
+	p.newBank = newBank
+	return p
+}
+
 // Name implements Engine.
 func (p *PredictiveDirectory) Name() string {
 	return "PredictiveDirectory+" + p.preds[0].Name()
+}
+
+// Reset implements Engine: outcome counters clear, and factory-built
+// engines also replace the predictor bank with a fresh, untrained one.
+func (p *PredictiveDirectory) Reset() {
+	p.stats = PredictiveDirectoryStats{}
+	if p.newBank != nil {
+		p.preds = p.newBank()
+	}
+}
+
+// Clone implements Engine. Factory-built engines clone with their own
+// fresh bank; bank-wrapping engines share the caller's bank.
+func (p *PredictiveDirectory) Clone() Engine {
+	if p.newBank != nil {
+		return NewPredictiveDirectoryWithFactory(p.newBank)
+	}
+	return NewPredictiveDirectory(p.preds)
 }
 
 // Stats returns prediction-outcome counters.

@@ -65,6 +65,18 @@ type Engine interface {
 	Process(rec trace.Record, mi coherence.MissInfo) Result
 	// Name identifies the protocol (and predictor, if any) in reports.
 	Name() string
+	// Reset restores the engine to its freshly-constructed state so it
+	// can be reused for another run. Engines wrapping a caller-owned
+	// predictor bank (NewMulticast, NewPredictiveDirectory) cannot
+	// rebuild the bank: they clear accounting counters but keep the
+	// bank's training. Use the *WithFactory constructors (or the engine
+	// registry) for full-fidelity resets.
+	Reset()
+	// Clone returns an engine with the same configuration and no
+	// accumulated accounting state. Factory-built engines clone with a
+	// fresh, untrained predictor bank; engines wrapping a caller-owned
+	// bank share it with their clones.
+	Clone() Engine
 }
 
 // dataMsgs returns how many data responses a miss produces: none when the
@@ -90,6 +102,12 @@ func NewSnooping(n int) *Snooping { return &Snooping{nodes: n} }
 // Name implements Engine.
 func (s *Snooping) Name() string { return "Broadcast Snooping" }
 
+// Reset implements Engine; broadcast snooping is stateless.
+func (s *Snooping) Reset() {}
+
+// Clone implements Engine.
+func (s *Snooping) Clone() Engine { return NewSnooping(s.nodes) }
+
 // Process implements Engine. A broadcast is always sufficient: the owner
 // and all sharers observe every request, so no miss ever indirects.
 func (s *Snooping) Process(rec trace.Record, mi coherence.MissInfo) Result {
@@ -112,6 +130,13 @@ func NewDirectory() *Directory { return &Directory{} }
 
 // Name implements Engine.
 func (d *Directory) Name() string { return "Directory" }
+
+// Reset implements Engine; the directory engine is stateless (directory
+// state lives in the coherence oracle's annotations).
+func (d *Directory) Reset() {}
+
+// Clone implements Engine.
+func (d *Directory) Clone() Engine { return NewDirectory() }
 
 // Process implements Engine. The request goes to the home; the directory
 // forwards to a remote owner (the indirection) and invalidates remote
@@ -144,10 +169,10 @@ func (d *Directory) Process(rec trace.Record, mi coherence.MissInfo) Result {
 type Multicast struct {
 	nodes int
 	preds []predictor.Predictor
-	// TrainImmediately applies this miss's training events right after
-	// accounting it, the trace-driven idealization of §4. The timing
-	// simulator delivers training at message-arrival time instead.
-	stats MulticastStats
+	// newBank rebuilds the predictor bank for Reset/Clone; nil when the
+	// engine wraps a caller-owned bank.
+	newBank func() []predictor.Predictor
+	stats   MulticastStats
 }
 
 // MulticastStats aggregates predictor-level accuracy counters.
@@ -171,8 +196,39 @@ func NewMulticast(preds []predictor.Predictor) *Multicast {
 	return &Multicast{nodes: len(preds), preds: preds}
 }
 
+// NewMulticastWithFactory builds a multicast snooping engine whose
+// predictor bank comes from newBank, enabling full-fidelity Reset and
+// independent Clone: every call must return a fresh, untrained bank of
+// the same shape.
+func NewMulticastWithFactory(newBank func() []predictor.Predictor) *Multicast {
+	if newBank == nil {
+		panic("protocol: nil predictor bank factory")
+	}
+	m := NewMulticast(newBank())
+	m.newBank = newBank
+	return m
+}
+
 // Name implements Engine.
 func (m *Multicast) Name() string { return "Multicast+" + m.preds[0].Name() }
+
+// Reset implements Engine: accuracy counters clear, and factory-built
+// engines also replace the predictor bank with a fresh, untrained one.
+func (m *Multicast) Reset() {
+	m.stats = MulticastStats{}
+	if m.newBank != nil {
+		m.preds = m.newBank()
+	}
+}
+
+// Clone implements Engine. Factory-built engines clone with their own
+// fresh bank; bank-wrapping engines share the caller's bank.
+func (m *Multicast) Clone() Engine {
+	if m.newBank != nil {
+		return NewMulticastWithFactory(m.newBank)
+	}
+	return NewMulticast(m.preds)
+}
 
 // Stats returns the accumulated prediction-accuracy counters.
 func (m *Multicast) Stats() MulticastStats { return m.stats }

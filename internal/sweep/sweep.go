@@ -1,0 +1,326 @@
+// Package sweep is the concurrency engine behind the public experiment
+// API: it fans a (engine × workload × seed) cross-product over a worker
+// pool, streams per-interval observations, honors context cancellation,
+// and returns results in a deterministic order regardless of goroutine
+// scheduling.
+//
+// Determinism comes from the shape of a cell, not from locking: every
+// cell builds its own fresh engine and opens its own miss stream, both
+// of which are pure functions of the cell's coordinates, so cells never
+// share mutable state and their results are reproducible at any
+// parallelism. Results are written to a slot indexed by the cell's
+// position in the cross-product, then compacted in order.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"destset/internal/coherence"
+	"destset/internal/protocol"
+	"destset/internal/trace"
+)
+
+// Stream produces a workload's miss stream: one coherence request and
+// its oracle annotation per call. *workload.Generator implements it; so
+// do replayers over pre-generated traces.
+type Stream interface {
+	Next() (trace.Record, coherence.MissInfo)
+}
+
+// Engine names a protocol engine and knows how to build a fresh,
+// untrained instance for a system of the given size.
+type Engine struct {
+	// Label identifies the engine in results and observations. It need
+	// not equal the built engine's Name().
+	Label string
+	// New builds a fresh engine. It is called once per cell, so every
+	// cell trains and measures an independent instance.
+	New func(nodes int) (protocol.Engine, error)
+}
+
+// Workload names a miss-stream source and its measurement scale.
+type Workload struct {
+	// Name identifies the workload in results and observations.
+	Name string
+	// Nodes is the system size engines are built for.
+	Nodes int
+	// Open returns a fresh stream positioned at the beginning. The same
+	// seed must yield the same stream contents.
+	Open func(seed uint64) (Stream, error)
+	// Warm misses train caches and predictors without being measured.
+	Warm int
+	// Measure misses are accounted.
+	Measure int
+}
+
+// Observation is one measurement interval of one cell, streamed to the
+// observer as the sweep runs.
+type Observation struct {
+	Engine   string // engine label
+	Workload string
+	Seed     uint64
+	// Interval is the 0-based interval index within the cell.
+	Interval int
+	// Totals covers this interval only.
+	Totals protocol.Totals
+	// Cumulative covers the cell's whole measurement so far.
+	Cumulative protocol.Totals
+}
+
+// Result is one completed cell.
+type Result struct {
+	Engine     string // engine label
+	EngineName string // the built engine's Name()
+	Workload   string
+	Seed       uint64
+	Totals     protocol.Totals
+}
+
+// Config tunes a sweep run.
+type Config struct {
+	// Seeds are the per-cell workload seeds; default {1}.
+	Seeds []uint64
+	// Parallelism caps concurrently-running cells; default GOMAXPROCS.
+	Parallelism int
+	// Interval is the observation granularity in misses; 0 disables
+	// interval streaming (observers then see one observation per cell).
+	Interval int
+	// Observe, when non-nil, receives every observation. Calls are
+	// serialized; the observer need not be concurrency-safe.
+	Observe func(Observation)
+}
+
+func (c Config) seeds() []uint64 {
+	if len(c.Seeds) == 0 {
+		return []uint64{1}
+	}
+	return c.Seeds
+}
+
+func (c Config) parallelism() int {
+	if c.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Parallelism
+}
+
+// ctxCheckStride bounds how many misses a cell processes between
+// cancellation checks, so cancellation is prompt even on huge cells.
+const ctxCheckStride = 2048
+
+// cell is one coordinate of the cross-product.
+type cell struct {
+	engine   Engine
+	workload Workload
+	seed     uint64
+}
+
+// Run executes the full cross-product and returns results ordered
+// workload-major: for each workload, for each engine, for each seed.
+// On cancellation it returns the completed cells (still in order)
+// together with the context's error; cells in flight are abandoned
+// promptly. Any cell construction or stream error aborts the run.
+func Run(ctx context.Context, engines []Engine, workloads []Workload, cfg Config) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(engines) == 0 || len(workloads) == 0 {
+		return nil, fmt.Errorf("sweep: need at least one engine and one workload")
+	}
+	seeds := cfg.seeds()
+	cells := make([]cell, 0, len(engines)*len(workloads)*len(seeds))
+	for _, w := range workloads {
+		for _, e := range engines {
+			for _, s := range seeds {
+				cells = append(cells, cell{engine: e, workload: w, seed: s})
+			}
+		}
+	}
+
+	observe := cfg.Observe
+	if observe != nil {
+		var mu sync.Mutex
+		raw := observe
+		observe = func(o Observation) {
+			mu.Lock()
+			defer mu.Unlock()
+			raw(o)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	slots := make([]*Result, len(cells))
+	var (
+		firstErr error
+		errOnce  sync.Once
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.parallelism(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				res, err := runCell(ctx, cells[idx], cfg.Interval, observe)
+				if err != nil {
+					if ctx.Err() == nil {
+						fail(err)
+					}
+					continue
+				}
+				slots[idx] = res
+			}
+		}()
+	}
+feed:
+	for i := range cells {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	out := make([]Result, 0, len(slots))
+	for _, r := range slots {
+		if r != nil {
+			out = append(out, *r)
+		}
+	}
+	if firstErr != nil {
+		return out, firstErr
+	}
+	return out, ctx.Err()
+}
+
+// runCell trains and measures one cell. It checks for cancellation every
+// ctxCheckStride misses and abandons the cell promptly when the context
+// ends.
+func runCell(ctx context.Context, c cell, interval int, observe func(Observation)) (*Result, error) {
+	if c.workload.Open == nil {
+		return nil, fmt.Errorf("sweep: workload %q has no stream source", c.workload.Name)
+	}
+	if c.engine.New == nil {
+		return nil, fmt.Errorf("sweep: engine %q has no constructor", c.engine.Label)
+	}
+	eng, err := c.engine.New(c.workload.Nodes)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: engine %q: %w", c.engine.Label, err)
+	}
+	st, err := c.workload.Open(c.seed)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: workload %q: %w", c.workload.Name, err)
+	}
+	for i := 0; i < c.workload.Warm; i++ {
+		if i%ctxCheckStride == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		rec, mi := st.Next()
+		eng.Process(rec, mi)
+	}
+	var cum, cur protocol.Totals
+	intervalIdx := 0
+	emit := func() {
+		if observe != nil {
+			observe(Observation{
+				Engine:     c.engine.Label,
+				Workload:   c.workload.Name,
+				Seed:       c.seed,
+				Interval:   intervalIdx,
+				Totals:     cur,
+				Cumulative: cum,
+			})
+		}
+		intervalIdx++
+		cur = protocol.Totals{}
+	}
+	for i := 0; i < c.workload.Measure; i++ {
+		if i%ctxCheckStride == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		rec, mi := st.Next()
+		r := eng.Process(rec, mi)
+		cum.Add(r)
+		cur.Add(r)
+		if interval > 0 && cur.Misses >= uint64(interval) {
+			emit()
+		}
+	}
+	if cur.Misses > 0 || interval <= 0 {
+		emit()
+	}
+	return &Result{
+		Engine:     c.engine.Label,
+		EngineName: eng.Name(),
+		Workload:   c.workload.Name,
+		Seed:       c.seed,
+		Totals:     cum,
+	}, nil
+}
+
+// ForEach runs fn(i) for every i in [0, n) across a worker pool of the
+// given size (<=0 means GOMAXPROCS), stopping at the first error or at
+// context cancellation. Callers get determinism by writing fn's output
+// to slot i of a caller-owned slice.
+func ForEach(ctx context.Context, n, parallelism int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n <= 0 {
+		return nil
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	jobs := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					continue
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					cancel()
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

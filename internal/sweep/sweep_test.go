@@ -1,0 +1,241 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"destset/internal/coherence"
+	"destset/internal/predictor"
+	"destset/internal/protocol"
+	"destset/internal/trace"
+	"destset/internal/workload"
+)
+
+func testEngines() []Engine {
+	return []Engine{
+		{Label: "snooping", New: func(nodes int) (protocol.Engine, error) {
+			return protocol.NewSnooping(nodes), nil
+		}},
+		{Label: "directory", New: func(nodes int) (protocol.Engine, error) {
+			return protocol.NewDirectory(), nil
+		}},
+		{Label: "owner", New: func(nodes int) (protocol.Engine, error) {
+			cfg := predictor.DefaultConfig(predictor.Owner, nodes)
+			return protocol.NewMulticastWithFactory(func() []predictor.Predictor {
+				return predictor.NewBank(cfg)
+			}), nil
+		}},
+	}
+}
+
+func testWorkloads(t *testing.T, names []string, warm, measure int) []Workload {
+	t.Helper()
+	out := make([]Workload, 0, len(names))
+	for _, name := range names {
+		name := name
+		p, err := workload.Preset(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, Workload{
+			Name:    name,
+			Nodes:   p.Nodes,
+			Warm:    warm,
+			Measure: measure,
+			Open: func(seed uint64) (Stream, error) {
+				ps, err := workload.Preset(name, seed)
+				if err != nil {
+					return nil, err
+				}
+				return workload.New(ps)
+			},
+		})
+	}
+	return out
+}
+
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	engines := testEngines()
+	workloads := testWorkloads(t, []string{"oltp", "ocean"}, 2000, 2000)
+	seeds := []uint64{1, 2}
+
+	serial, err := Run(context.Background(), engines, workloads,
+		Config{Seeds: seeds, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(context.Background(), engines, workloads,
+		Config{Seeds: seeds, Parallelism: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(engines)*len(workloads)*len(seeds) {
+		t.Fatalf("got %d results", len(serial))
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel results diverge from serial:\n%v\nvs\n%v", serial, parallel)
+	}
+	// Workload-major ordering: first cells all belong to the first workload.
+	for i, r := range serial[:len(engines)*len(seeds)] {
+		if r.Workload != "oltp" {
+			t.Errorf("result %d workload %q, want oltp-first ordering", i, r.Workload)
+		}
+	}
+}
+
+func TestRunObservationsCoverMeasurement(t *testing.T) {
+	engines := testEngines()[:1]
+	workloads := testWorkloads(t, []string{"oltp"}, 500, 2500)
+	var obs []Observation
+	_, err := Run(context.Background(), engines, workloads, Config{
+		Interval: 1000,
+		Observe:  func(o Observation) { obs = append(obs, o) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 3 {
+		t.Fatalf("got %d observations, want 3 (1000+1000+500)", len(obs))
+	}
+	var misses uint64
+	for i, o := range obs {
+		if o.Interval != i {
+			t.Errorf("observation %d has interval index %d", i, o.Interval)
+		}
+		misses += o.Totals.Misses
+	}
+	if misses != 2500 {
+		t.Errorf("observations cover %d misses, want 2500", misses)
+	}
+	last := obs[len(obs)-1]
+	if last.Cumulative.Misses != 2500 {
+		t.Errorf("final cumulative misses %d", last.Cumulative.Misses)
+	}
+}
+
+func TestRunCancellationReturnsPartialResults(t *testing.T) {
+	engines := testEngines()
+	workloads := testWorkloads(t, []string{"oltp"}, 50_000, 200_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var (
+		res []Result
+		err error
+	)
+	go func() {
+		defer close(done)
+		res, err = Run(ctx, engines, workloads, Config{Parallelism: 2})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return promptly after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if len(res) >= len(engines) {
+		t.Errorf("expected partial results, got all %d", len(res))
+	}
+}
+
+func TestRunPropagatesCellErrors(t *testing.T) {
+	bad := []Engine{{Label: "bad", New: func(int) (protocol.Engine, error) {
+		return nil, errors.New("boom")
+	}}}
+	workloads := testWorkloads(t, []string{"oltp"}, 10, 10)
+	_, err := Run(context.Background(), bad, workloads, Config{})
+	if err == nil || !contains(err.Error(), "boom") {
+		t.Errorf("err = %v, want cell error", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}
+
+func TestForEach(t *testing.T) {
+	out := make([]int, 100)
+	err := ForEach(context.Background(), len(out), 8, func(i int) error {
+		out[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	var calls atomic.Int64
+	err = ForEach(context.Background(), 1000, 4, func(i int) error {
+		calls.Add(1)
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := calls.Load(); n == 1000 {
+		t.Errorf("ForEach did not stop early (ran all %d)", n)
+	}
+}
+
+// replayStream checks that pre-annotated traces satisfy Stream.
+type replayStream struct {
+	recs  []trace.Record
+	infos []coherence.MissInfo
+	i     int
+}
+
+func (r *replayStream) Next() (trace.Record, coherence.MissInfo) {
+	rec, mi := r.recs[r.i], r.infos[r.i]
+	r.i++
+	return rec, mi
+}
+
+func TestReplayStreamMatchesGenerator(t *testing.T) {
+	p, err := workload.Preset("slashcode", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, infos := g.Generate(3000)
+	w := Workload{
+		Name:    "slashcode-replay",
+		Nodes:   p.Nodes,
+		Warm:    1000,
+		Measure: 2000,
+		Open: func(uint64) (Stream, error) {
+			return &replayStream{recs: tr.Records, infos: infos}, nil
+		},
+	}
+	e := testEngines()[2]
+	res, err := Run(context.Background(), []Engine{e}, []Workload{w}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Totals.Misses != 2000 {
+		t.Fatalf("measured %d misses", res[0].Totals.Misses)
+	}
+}

@@ -1,0 +1,205 @@
+package destset
+
+import (
+	"context"
+	"fmt"
+
+	"destset/internal/sweep"
+)
+
+// Default measurement scale applied to WorkloadSpecs that do not set
+// their own, matching the paper's reduced-scale methodology (§4).
+const (
+	DefaultWarmMisses    = 50_000
+	DefaultMeasureMisses = 50_000
+)
+
+// Observation is one measurement interval of one sweep cell, streamed
+// to observers while the sweep runs. Totals covers the interval alone;
+// Cumulative covers the cell's measurement so far.
+type Observation = sweep.Observation
+
+// Observer receives per-interval observations. The Runner serializes
+// calls, so observers need not be concurrency-safe.
+type Observer func(Observation)
+
+// RunResult is one completed sweep cell: an engine evaluated on a
+// workload at one seed, aggregated into a tradeoff point.
+type RunResult struct {
+	// Engine is the engine spec's display label.
+	Engine string
+	// Workload names the workload (preset name or spec label).
+	Workload string
+	// Seed is the workload generation seed of this cell.
+	Seed uint64
+	// Totals is the raw per-miss accounting aggregate.
+	Totals Totals
+	// Tradeoff is the cell's point on the latency/bandwidth plane;
+	// Tradeoff.Config carries the built engine's Name().
+	Tradeoff TradeoffResult
+}
+
+type runnerConfig struct {
+	seeds       []uint64
+	warm        int
+	measure     int
+	interval    int
+	parallelism int
+	observer    Observer
+	ctx         context.Context
+}
+
+// RunnerOption tunes a Runner.
+type RunnerOption func(*runnerConfig)
+
+// WithSeeds sets the workload seeds swept per (engine, workload) pair;
+// the default is the single seed 1.
+func WithSeeds(seeds ...uint64) RunnerOption {
+	return func(c *runnerConfig) { c.seeds = append([]uint64(nil), seeds...) }
+}
+
+// WithWarmup sets the default warmup misses for workloads that do not
+// set their own (default DefaultWarmMisses).
+func WithWarmup(n int) RunnerOption {
+	return func(c *runnerConfig) { c.warm = n }
+}
+
+// WithMeasure sets the default measured misses for workloads that do
+// not set their own (default DefaultMeasureMisses).
+func WithMeasure(n int) RunnerOption {
+	return func(c *runnerConfig) { c.measure = n }
+}
+
+// WithInterval sets the observation granularity in misses. 0 (the
+// default) emits a single observation per cell when an observer is set.
+func WithInterval(misses int) RunnerOption {
+	return func(c *runnerConfig) { c.interval = misses }
+}
+
+// WithParallelism caps how many sweep cells run concurrently; values
+// below 1 restore the default (GOMAXPROCS). Results are identical at
+// every parallelism.
+func WithParallelism(n int) RunnerOption {
+	return func(c *runnerConfig) { c.parallelism = n }
+}
+
+// WithObserver streams per-interval observations to fn while the sweep
+// runs.
+func WithObserver(fn Observer) RunnerOption {
+	return func(c *runnerConfig) { c.observer = fn }
+}
+
+// WithContext sets the context used when Run is called with a nil
+// context.
+func WithContext(ctx context.Context) RunnerOption {
+	return func(c *runnerConfig) { c.ctx = ctx }
+}
+
+// Runner fans a []EngineSpec × []WorkloadSpec × seeds cross-product
+// over a worker pool. Every cell builds a fresh engine and a fresh
+// workload stream from its specs, so results are deterministic
+// regardless of goroutine scheduling: Run returns the same results in
+// the same order at parallelism 1 and parallelism N.
+type Runner struct {
+	engines   []EngineSpec
+	workloads []WorkloadSpec
+	cfg       runnerConfig
+}
+
+// NewRunner builds a sweep over the cross-product of engine and
+// workload specs.
+func NewRunner(engines []EngineSpec, workloads []WorkloadSpec, opts ...RunnerOption) *Runner {
+	cfg := runnerConfig{
+		seeds:   []uint64{1},
+		warm:    DefaultWarmMisses,
+		measure: DefaultMeasureMisses,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if len(cfg.seeds) == 0 {
+		cfg.seeds = []uint64{1}
+	}
+	return &Runner{
+		engines:   append([]EngineSpec(nil), engines...),
+		workloads: append([]WorkloadSpec(nil), workloads...),
+		cfg:       cfg,
+	}
+}
+
+// Run executes the sweep and returns one RunResult per cell, ordered
+// workload-major: for each workload, for each engine, for each seed.
+// A nil ctx falls back to WithContext, then context.Background(). On
+// cancellation Run returns promptly with the completed cells (still in
+// order) and the context's error.
+func (r *Runner) Run(ctx context.Context) ([]RunResult, error) {
+	if ctx == nil {
+		ctx = r.cfg.ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(r.engines) == 0 || len(r.workloads) == 0 {
+		return nil, fmt.Errorf("destset: Runner needs at least one engine spec and one workload spec")
+	}
+	engines := make([]sweep.Engine, len(r.engines))
+	for i, e := range r.engines {
+		if err := e.validate(); err != nil {
+			return nil, err
+		}
+		engines[i] = e.sweepEngine()
+	}
+	workloads := make([]sweep.Workload, len(r.workloads))
+	for i, w := range r.workloads {
+		sw, err := w.resolve(r.cfg.warm, r.cfg.measure)
+		if err != nil {
+			return nil, err
+		}
+		workloads[i] = sw
+	}
+	var observe func(Observation)
+	if r.cfg.observer != nil {
+		observe = r.cfg.observer
+	}
+	results, err := sweep.Run(ctx, engines, workloads, sweep.Config{
+		Seeds:       r.cfg.seeds,
+		Parallelism: r.cfg.parallelism,
+		Interval:    r.cfg.interval,
+		Observe:     observe,
+	})
+	out := make([]RunResult, len(results))
+	for i, res := range results {
+		out[i] = RunResult{
+			Engine:   res.Engine,
+			Workload: res.Workload,
+			Seed:     res.Seed,
+			Totals:   res.Totals,
+			Tradeoff: TradeoffResult{
+				Config:             res.EngineName,
+				RequestMsgsPerMiss: res.Totals.RequestMsgsPerMiss(),
+				IndirectionPercent: res.Totals.IndirectionPercent(),
+				BytesPerMiss:       res.Totals.BytesPerMiss(),
+			},
+		}
+	}
+	return out, err
+}
+
+// Evaluate runs a single (engine, workload) cell — the one-call version
+// of the Runner for a single tradeoff point. Unlike EvaluatePolicy it
+// reaches every registered protocol engine, including the Acacio-style
+// predictive-directory hybrid:
+//
+//	Evaluate(ctx,
+//	    EngineSpec{Protocol: ProtocolPredictiveDirectory, PolicyName: "owner"},
+//	    WorkloadSpec{Name: "oltp"})
+func Evaluate(ctx context.Context, engine EngineSpec, workload WorkloadSpec, opts ...RunnerOption) (TradeoffResult, error) {
+	res, err := NewRunner([]EngineSpec{engine}, []WorkloadSpec{workload}, opts...).Run(ctx)
+	if err != nil {
+		return TradeoffResult{}, err
+	}
+	if len(res) != 1 {
+		return TradeoffResult{}, fmt.Errorf("destset: expected one result, got %d", len(res))
+	}
+	return res[0].Tradeoff, nil
+}
