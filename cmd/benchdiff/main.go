@@ -1,0 +1,242 @@
+// Command benchdiff is the CI bench trend check: it compares the bench
+// smoke job's BENCH_*.json output against the committed baseline and
+// fails (exit 1) when a key benchmark regresses by more than the
+// threshold in time/op or B/op.
+//
+// Usage:
+//
+//	benchdiff -baseline bench_baseline.json 'BENCH_*.json'
+//
+// The latest argument may be a glob; the lexicographically last match is
+// used (the smoke job stamps files with UTC timestamps, so last = most
+// recent). Benchmark names are matched with the -<GOMAXPROCS> suffix
+// stripped, so baselines recorded on different core counts compare.
+//
+// To refresh the baseline after an intentional change, run the smoke
+// benchmarks locally and commit the new file:
+//
+//	go test -run='^$' -bench=. -benchtime=1x -benchmem | benchdiff -record bench_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// row is one benchmark result, in the schema the CI smoke job emits:
+// ns_per_op plus any -benchmem / ReportMetric extras keyed by unit
+// ("B/op", "allocs/op", "oltp-mpki", ...).
+type row struct {
+	Name    string  `json:"name"`
+	Iters   int     `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Extra   map[string]float64
+}
+
+// UnmarshalJSON keeps unknown numeric fields as extras.
+func (r *row) UnmarshalJSON(raw []byte) error {
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return err
+	}
+	r.Extra = map[string]float64{}
+	for k, v := range m {
+		switch k {
+		case "name":
+			s, _ := v.(string)
+			r.Name = s
+		case "iters":
+			f, _ := v.(float64)
+			r.Iters = int(f)
+		case "ns_per_op":
+			f, _ := v.(float64)
+			r.NsPerOp = f
+		default:
+			if f, ok := v.(float64); ok {
+				r.Extra[k] = f
+			}
+		}
+	}
+	return nil
+}
+
+// MarshalJSON re-flattens the extras.
+func (r row) MarshalJSON() ([]byte, error) {
+	m := map[string]any{"name": r.Name, "iters": r.Iters, "ns_per_op": r.NsPerOp}
+	for k, v := range r.Extra {
+		m[k] = v
+	}
+	return json.Marshal(m)
+}
+
+// normalize strips the trailing -<procs> suffix go test appends to
+// benchmark names, so results from machines with different core counts
+// compare by benchmark identity.
+func normalize(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func index(rows []row) map[string]row {
+	m := make(map[string]row, len(rows))
+	for _, r := range rows {
+		m[normalize(r.Name)] = r
+	}
+	return m
+}
+
+// defaultKeys are the benchmarks the trend check guards: the two
+// headline experiment harnesses plus the hot-path micro-benchmarks.
+const defaultKeys = "BenchmarkTable2,BenchmarkFigure5,BenchmarkProtocolMulticastProcess,BenchmarkPredictorPredict/Group,BenchmarkPredictorTrain"
+
+// compare reports per-key deltas and whether any exceeds the thresholds.
+func compare(baseline, latest map[string]row, keys []string, timePct, bytesPct float64) (lines []string, failed bool) {
+	sort.Strings(keys)
+	for _, key := range keys {
+		base, okB := baseline[key]
+		cur, okL := latest[key]
+		switch {
+		case !okB && !okL:
+			lines = append(lines, fmt.Sprintf("SKIP %s: in neither baseline nor latest", key))
+			continue
+		case !okB:
+			lines = append(lines, fmt.Sprintf("NEW  %s: no baseline yet (time/op %.0f ns)", key, cur.NsPerOp))
+			continue
+		case !okL:
+			lines = append(lines, fmt.Sprintf("FAIL %s: present in baseline but missing from latest run", key))
+			failed = true
+			continue
+		}
+		check := func(metric string, baseV, curV, limitPct float64) {
+			if baseV <= 0 {
+				return
+			}
+			delta := 100 * (curV - baseV) / baseV
+			status := "ok  "
+			if delta > limitPct {
+				status = "FAIL"
+				failed = true
+			}
+			lines = append(lines, fmt.Sprintf("%s %s %s: %.4g -> %.4g (%+.1f%%, limit +%.0f%%)",
+				status, key, metric, baseV, curV, delta, limitPct))
+		}
+		check("time/op", base.NsPerOp, cur.NsPerOp, timePct)
+		check("B/op", base.Extra["B/op"], cur.Extra["B/op"], bytesPct)
+	}
+	return lines, failed
+}
+
+func readRows(path string) ([]row, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+// parseBenchLine parses one `go test -bench` output line into a row, as
+// the CI smoke job's converter does.
+func parseBenchLine(line string) (row, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || f[3] != "ns/op" {
+		return row{}, false
+	}
+	iters, err1 := strconv.Atoi(f[1])
+	ns, err2 := strconv.ParseFloat(f[2], 64)
+	if err1 != nil || err2 != nil {
+		return row{}, false
+	}
+	r := row{Name: f[0], Iters: iters, NsPerOp: ns, Extra: map[string]float64{}}
+	for i := 4; i+1 < len(f); i += 2 {
+		if v, err := strconv.ParseFloat(f[i], 64); err == nil {
+			r.Extra[f[i+1]] = v
+		}
+	}
+	return r, true
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "bench_baseline.json", "committed baseline JSON")
+	timePct := flag.Float64("time-threshold", 20, "max allowed time/op regression, percent")
+	bytesPct := flag.Float64("bytes-threshold", 20, "max allowed B/op regression, percent")
+	keysFlag := flag.String("keys", defaultKeys, "comma-separated benchmarks to guard")
+	record := flag.String("record", "", "read `go test -bench` output from stdin and write it as baseline JSON to this path, then exit")
+	flag.Parse()
+
+	if *record != "" {
+		var rows []row
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			if r, ok := parseBenchLine(sc.Text()); ok {
+				rows = append(rows, r)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		raw, err := json.MarshalIndent(rows, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*record, append(raw, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchdiff: recorded %d benchmarks to %s\n", len(rows), *record)
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -baseline bench_baseline.json 'BENCH_*.json'")
+		os.Exit(2)
+	}
+	matches, err := filepath.Glob(flag.Arg(0))
+	if err != nil || len(matches) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no latest results match %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	sort.Strings(matches)
+	latestPath := matches[len(matches)-1]
+
+	baseRows, err := readRows(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	curRows, err := readRows(latestPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	keys := strings.Split(*keysFlag, ",")
+	for i := range keys {
+		keys[i] = strings.TrimSpace(keys[i])
+	}
+	fmt.Printf("benchdiff: %s vs %s\n", *baselinePath, latestPath)
+	lines, failed := compare(index(baseRows), index(curRows), keys, *timePct, *bytesPct)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if failed {
+		fmt.Println("benchdiff: REGRESSION over threshold")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: within thresholds")
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkrow(name string, ns, bytes float64) row {
+	return row{Name: name, Iters: 1, NsPerOp: ns, Extra: map[string]float64{"B/op": bytes}}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := index([]row{
+		mkrow("BenchmarkTable2-16", 100, 1000),
+		mkrow("BenchmarkFigure5-16", 200, 2000),
+		mkrow("BenchmarkGone-16", 50, 500),
+	})
+	latest := index([]row{
+		mkrow("BenchmarkTable2-4", 115, 1000),  // +15% time: ok at 20%
+		mkrow("BenchmarkFigure5-4", 200, 2600), // +30% bytes: fail
+		mkrow("BenchmarkNew-4", 10, 10),
+	})
+	keys := []string{"BenchmarkTable2", "BenchmarkFigure5", "BenchmarkGone", "BenchmarkNew"}
+	lines, failed := compare(base, latest, keys, 20, 20)
+	if !failed {
+		t.Fatalf("expected failure, got:\n%s", strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{
+		"FAIL BenchmarkFigure5 B/op",
+		"FAIL BenchmarkGone: present in baseline but missing",
+		"NEW  BenchmarkNew",
+		"ok   BenchmarkTable2 time/op",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base := index([]row{mkrow("BenchmarkTable2-16", 100, 1000)})
+	latest := index([]row{mkrow("BenchmarkTable2-16", 119, 1150)})
+	if _, failed := compare(base, latest, []string{"BenchmarkTable2"}, 20, 20); failed {
+		t.Error("within-threshold deltas must pass")
+	}
+	// Improvements never fail, however large.
+	latest = index([]row{mkrow("BenchmarkTable2-16", 1, 1)})
+	if _, failed := compare(base, latest, []string{"BenchmarkTable2"}, 20, 20); failed {
+		t.Error("improvements must pass")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkTable2-16":                "BenchmarkTable2",
+		"BenchmarkPredictorPredict/Group-4": "BenchmarkPredictorPredict/Group",
+		"BenchmarkNoSuffix":                 "BenchmarkNoSuffix",
+		"BenchmarkTricky-name":              "BenchmarkTricky-name",
+	} {
+		if got := normalize(in); got != want {
+			t.Errorf("normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkTable2-16  \t 2\t 431151258 ns/op\t 54.75 oltp-dir-indirect-%\t 806438392 B/op\t 199694 allocs/op")
+	if !ok {
+		t.Fatal("line should parse")
+	}
+	if r.Name != "BenchmarkTable2-16" || r.Iters != 2 || r.NsPerOp != 431151258 {
+		t.Errorf("parsed %+v", r)
+	}
+	if r.Extra["B/op"] != 806438392 || r.Extra["allocs/op"] != 199694 || r.Extra["oltp-dir-indirect-%"] != 54.75 {
+		t.Errorf("extras %+v", r.Extra)
+	}
+	if _, ok := parseBenchLine("PASS"); ok {
+		t.Error("non-benchmark line should not parse")
+	}
+}

@@ -1,0 +1,28 @@
+package destset
+
+import "destset/internal/dataset"
+
+// The Runner resolves every Name- or Params-based WorkloadSpec through a
+// process-wide dataset store: each (workload, seed, warm, measure) trace
+// is generated once, annotated by the coherence oracle once, and then
+// replayed by every sweep cell — and by every later Runner — through
+// zero-copy cursors. Custom Open sources bypass the store. The functions
+// below manage that cache.
+
+// DatasetCacheStats reports the shared dataset store's resident dataset
+// count and approximate byte footprint, plus hit/miss counters since
+// process start.
+func DatasetCacheStats() (datasets int, bytes int64, hits, misses uint64) {
+	return dataset.Shared.Stats()
+}
+
+// PurgeDatasets drops every cached dataset and returns how many were
+// dropped. Subsequent sweeps regenerate on demand; results are
+// unaffected (generation is deterministic).
+func PurgeDatasets() int { return dataset.Shared.Purge() }
+
+// SetDatasetCacheLimit caps the shared dataset store's resident bytes;
+// 0 restores the default (unbounded). Over-limit inserts evict the
+// least-recently-used datasets, which transparently regenerate on next
+// use.
+func SetDatasetCacheLimit(bytes int64) { dataset.Shared.SetLimit(bytes) }

@@ -1,0 +1,74 @@
+package destset_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"destset"
+)
+
+// TestSharedDatasetSweepMatchesRegeneratingSweep is the acceptance check
+// for the generate-once/replay-many path: a Runner over Name-based specs
+// (which replay the shared dataset) must produce byte-identical results
+// to a Runner whose cells each regenerate the miss stream from scratch —
+// the pre-dataset-store behavior — at every parallelism.
+func TestSharedDatasetSweepMatchesRegeneratingSweep(t *testing.T) {
+	const warm, measure = 2000, 2000
+	engines := []destset.EngineSpec{
+		{Protocol: destset.ProtocolSnooping},
+		{Protocol: destset.ProtocolDirectory},
+		destset.SpecForPolicy(destset.Group),
+		destset.SpecForPolicy(destset.OwnerGroup),
+		{Protocol: destset.ProtocolPredictiveDirectory, PolicyName: "owner"},
+	}
+	names := []string{"oltp", "ocean"}
+
+	shared := make([]destset.WorkloadSpec, len(names))
+	regen := make([]destset.WorkloadSpec, len(names))
+	for i, name := range names {
+		shared[i] = destset.WorkloadSpec{Name: name, Warm: warm, Measure: measure}
+		params, err := destset.NewWorkload(name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := name
+		regen[i] = destset.WorkloadSpec{
+			Name:  n,
+			Nodes: params.Nodes,
+			Warm:  warm, Measure: measure,
+			// The old per-cell path: every cell opens a fresh generator
+			// and pays the oracle for the whole stream again.
+			Open: func(seed uint64) (destset.Stream, error) {
+				return destset.NewWorkloadGenerator(destset.WorkloadSpec{Name: n}, seed)
+			},
+		}
+	}
+
+	run := func(workloads []destset.WorkloadSpec, parallelism int) []byte {
+		t.Helper()
+		res, err := destset.NewRunner(engines, workloads,
+			destset.WithSeeds(3, 4),
+			destset.WithParallelism(parallelism),
+		).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	want := run(regen, 1)
+	for _, par := range []int{1, 4} {
+		if got := run(shared, par); !bytes.Equal(got, want) {
+			t.Errorf("shared-dataset sweep at parallelism %d diverges from regenerating sweep:\n%s\nvs\n%s", par, got, want)
+		}
+		if got := run(regen, par); !bytes.Equal(got, want) {
+			t.Errorf("regenerating sweep not deterministic at parallelism %d", par)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package dataset
+
+import "testing"
+
+// TestReplayerNextAllocFree is the replay-path allocation budget: Next
+// runs once per miss per sweep cell over shared datasets and must read
+// straight out of the columns without allocating.
+func TestReplayerNextAllocFree(t *testing.T) {
+	d, err := Generate(testParams(t, 1), 2000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := d.Replay()
+	if n := testing.AllocsPerRun(3000, func() {
+		if r.Remaining() == 0 {
+			r.Rewind()
+		}
+		r.Next()
+	}); n != 0 {
+		t.Errorf("Replayer.Next allocates %.1f/op, want 0", n)
+	}
+}

@@ -1,0 +1,316 @@
+// Package dataset implements the generate-once/replay-many trace layer.
+//
+// The paper's evaluation sweeps many protocol configurations over the
+// *same* six workload traces (§4–§5). Generating a workload's annotated
+// miss stream is expensive — every access runs through the coherence
+// oracle's set-associative caches — while replaying it is a pair of
+// array reads. This package therefore materializes each (workload, seed,
+// scale) trace exactly once and hands every consumer a cheap cursor:
+//
+//   - Dataset is an immutable, columnar (struct-of-arrays) recording of
+//     a generated trace together with its per-miss coherence
+//     annotations, stored in fixed-size chunks so no single allocation
+//     scales with trace length and appends never copy.
+//   - Replayer is a zero-copy, zero-allocation cursor over a Dataset
+//     implementing the sweep engine's Stream contract. Any number of
+//     replayers can walk the same dataset concurrently.
+//   - Store (store.go) memoizes datasets behind a concurrency-safe,
+//     singleflight map so concurrent sweep cells generate each dataset
+//     once and replay it everywhere.
+//
+// Columnar layout matters twice over: it drops per-record padding (a
+// Record+MissInfo pair costs 56 bytes as Go structs but 32 bytes as
+// columns, with the home node derived from the address), and sequential
+// replay walks each column linearly, which is as friendly as the hardware
+// allows.
+package dataset
+
+import (
+	"fmt"
+	"sync"
+
+	"destset/internal/cache"
+	"destset/internal/coherence"
+	"destset/internal/nodeset"
+	"destset/internal/trace"
+	"destset/internal/workload"
+)
+
+// Records per chunk. 1<<14 keeps a chunk around half a megabyte — big
+// enough that the chunk-boundary branch in Replayer.Next is noise, small
+// enough that a dataset never over-allocates by more than one chunk.
+const (
+	chunkShift = 14
+	chunkLen   = 1 << chunkShift
+	chunkMask  = chunkLen - 1
+)
+
+// chunk is one fixed-size arena of columns. All columns of a record share
+// one index, so a (Record, MissInfo) pair is reassembled from eight
+// parallel reads of the same slot.
+type chunk struct {
+	addr     [chunkLen]trace.Addr
+	pc       [chunkLen]trace.PC
+	gap      [chunkLen]uint32
+	req      [chunkLen]uint8
+	kind     [chunkLen]trace.Kind
+	owner    [chunkLen]nodeset.NodeID
+	sharers  [chunkLen]nodeset.Set
+	reqState [chunkLen]cache.State
+}
+
+// Dataset is one workload's generated, annotated trace: a warm region
+// followed by a measured region, plus the whole-run block statistics the
+// §2 characterization needs. Datasets are immutable after Generate
+// returns and safe for concurrent replay.
+type Dataset struct {
+	params workload.Params
+	warm   int
+	n      int // warm + measure
+	chunks []*chunk
+
+	// blockStats is the compact snapshot of the oracle's per-block
+	// touched-set and miss counters after the whole run, in address
+	// order. Keeping the snapshot instead of the live coherence.System
+	// releases the oracle's dense block table and all sixteen modelled
+	// L2 caches — tens of megabytes per workload — to the GC.
+	blockStats []coherence.BlockStat
+
+	// Legacy []trace.Record views, materialized at most once for
+	// consumers that need contiguous records (the timing simulator).
+	warmOnce, measOnce sync.Once
+	warmTr, measTr     *trace.Trace
+
+	// grow, when set (by the owning Store), reports late allocations —
+	// the materialized views above — so the store's byte accounting
+	// tracks the dataset's real footprint, not just the columns.
+	grow func(delta int64)
+}
+
+// Generate runs the workload's generator for warm+measure misses and
+// records the stream and its oracle annotations. Instruction gaps are
+// rescaled per region so each region's realized misses-per-1000-
+// instructions matches the workload target, exactly as
+// workload.Generator.Generate does; everything else is byte-identical to
+// streaming the generator live.
+func Generate(p workload.Params, warm, measure int) (*Dataset, error) {
+	if warm < 0 || measure < 0 {
+		return nil, fmt.Errorf("dataset: negative scale warm=%d measure=%d", warm, measure)
+	}
+	g, err := workload.New(p)
+	if err != nil {
+		return nil, err
+	}
+	n := warm + measure
+	d := &Dataset{
+		params: p,
+		warm:   warm,
+		n:      n,
+		chunks: make([]*chunk, 0, (n+chunkLen-1)/chunkLen),
+	}
+	for i := 0; i < n; i++ {
+		rec, mi := g.Next()
+		if i&chunkMask == 0 {
+			d.chunks = append(d.chunks, &chunk{})
+		}
+		c, j := d.chunks[i>>chunkShift], i&chunkMask
+		c.addr[j] = rec.Addr
+		c.pc[j] = rec.PC
+		c.gap[j] = rec.Gap
+		c.req[j] = rec.Requester
+		c.kind[j] = rec.Kind
+		c.owner[j] = mi.Owner
+		c.sharers[j] = mi.Sharers
+		c.reqState[j] = mi.RequesterState
+	}
+	d.rescaleGaps(0, warm)
+	d.rescaleGaps(warm, n)
+	d.blockStats = snapshotBlockStats(g.System())
+	return d, nil
+}
+
+// rescaleGaps rescales the instruction gaps of records [lo, hi) so their
+// sum hits the workload's misses-per-1000-instructions target despite
+// burst structure — the same float arithmetic as Generator.Generate, so
+// materialized views reproduce its output bit for bit.
+func (d *Dataset) rescaleGaps(lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	var totalGap uint64
+	for i := lo; i < hi; i++ {
+		totalGap += uint64(d.chunks[i>>chunkShift].gap[i&chunkMask])
+	}
+	if totalGap == 0 {
+		return
+	}
+	target := float64(hi-lo) * 1000 / d.params.MissesPer1000Instr
+	scale := target / float64(totalGap)
+	for i := lo; i < hi; i++ {
+		c, j := d.chunks[i>>chunkShift], i&chunkMask
+		gap := float64(c.gap[j]) * scale
+		if gap < 1 {
+			gap = 1
+		}
+		c.gap[j] = uint32(gap)
+	}
+}
+
+// snapshotBlockStats copies the oracle's per-block statistics into a
+// compact slice (touched blocks only, address order).
+func snapshotBlockStats(sys *coherence.System) []coherence.BlockStat {
+	var out []coherence.BlockStat
+	sys.ForEachTouchedBlock(func(b coherence.BlockStat) {
+		out = append(out, b)
+	})
+	return out
+}
+
+// Params returns the workload parameters the dataset was generated from.
+func (d *Dataset) Params() workload.Params { return d.params }
+
+// Nodes returns the traced system's node count.
+func (d *Dataset) Nodes() int { return d.params.Nodes }
+
+// Warm returns the number of warm-region records.
+func (d *Dataset) Warm() int { return d.warm }
+
+// Measure returns the number of measured-region records.
+func (d *Dataset) Measure() int { return d.n - d.warm }
+
+// Len returns the total record count (warm + measured).
+func (d *Dataset) Len() int { return d.n }
+
+// Approximate per-element footprints the byte accounting uses.
+const (
+	perRecord = 8 + 8 + 4 + 1 + 1 + 1 + 8 + 1 // one slot across all columns
+	perStat   = 24                            // coherence.BlockStat with padding
+	perLegacy = 32                            // trace.Record with padding
+)
+
+// Bytes returns the approximate in-memory footprint of the dataset's
+// columns and block statistics at generation time; the Store budgets
+// with it and is additionally notified (via grow) when the legacy
+// record views materialize later.
+func (d *Dataset) Bytes() int64 {
+	return int64(len(d.chunks))*perRecord*chunkLen + int64(len(d.blockStats))*perStat
+}
+
+// At returns record i and its coherence annotation. Index 0 is the first
+// warm record; the measured region starts at Warm().
+func (d *Dataset) At(i int) (trace.Record, coherence.MissInfo) {
+	c, j := d.chunks[i>>chunkShift], i&chunkMask
+	return trace.Record{
+			Addr:      c.addr[j],
+			PC:        c.pc[j],
+			Requester: c.req[j],
+			Kind:      c.kind[j],
+			Gap:       c.gap[j],
+		}, coherence.MissInfo{
+			// The home node is block-interleaved across the memory
+			// controllers; deriving it saves a column.
+			Home:           nodeset.NodeID(uint64(c.addr[j]) % uint64(d.params.Nodes)),
+			Owner:          c.owner[j],
+			Sharers:        c.sharers[j],
+			RequesterState: c.reqState[j],
+		}
+}
+
+// EachMeasured calls fn for every measured-region record in order. It is
+// the characterization harness's scan loop.
+func (d *Dataset) EachMeasured(fn func(rec trace.Record, mi coherence.MissInfo)) {
+	for i := d.warm; i < d.n; i++ {
+		fn(d.At(i))
+	}
+}
+
+// BlockStats returns the whole-run per-block statistics (touched blocks
+// only, address order). The returned slice is shared; do not mutate.
+func (d *Dataset) BlockStats() []coherence.BlockStat { return d.blockStats }
+
+// materialize copies records [lo, hi) into a contiguous legacy trace.
+func (d *Dataset) materialize(lo, hi int) *trace.Trace {
+	t := &trace.Trace{Nodes: d.params.Nodes, Records: make([]trace.Record, 0, hi-lo)}
+	for i := lo; i < hi; i++ {
+		rec, _ := d.At(i)
+		t.Append(rec)
+	}
+	return t
+}
+
+// grew reports a late allocation to the owning store, if any.
+func (d *Dataset) grew(delta int64) {
+	if d.grow != nil {
+		d.grow(delta)
+	}
+}
+
+// WarmTrace returns the warm region as a contiguous legacy trace,
+// materialized on first use and cached. The execution-driven timing
+// simulator consumes it.
+func (d *Dataset) WarmTrace() *trace.Trace {
+	d.warmOnce.Do(func() {
+		d.warmTr = d.materialize(0, d.warm)
+		d.grew(int64(d.warm) * perLegacy)
+	})
+	return d.warmTr
+}
+
+// MeasureTrace returns the measured region as a contiguous legacy trace,
+// materialized on first use and cached.
+func (d *Dataset) MeasureTrace() *trace.Trace {
+	d.measOnce.Do(func() {
+		d.measTr = d.materialize(d.warm, d.n)
+		d.grew(int64(d.n-d.warm) * perLegacy)
+	})
+	return d.measTr
+}
+
+// Replay returns a fresh zero-copy cursor positioned at the first warm
+// record. Replayers allocate nothing per Next call and never mutate the
+// dataset, so any number can run concurrently.
+func (d *Dataset) Replay() *Replayer {
+	return &Replayer{chunks: d.chunks, n: d.n, nodes: uint64(d.params.Nodes)}
+}
+
+// Replayer is a sequential cursor over a Dataset: the warm region first,
+// then the measured region. It implements the sweep engine's Stream
+// contract (Next), with reads straight out of the shared columns. A
+// cursor holds only the column chunks, so an outstanding cursor does
+// not pin an evicted dataset's block statistics or legacy views.
+type Replayer struct {
+	chunks []*chunk
+	i      int
+	n      int
+	nodes  uint64
+}
+
+// Next returns the next record and its coherence annotation. It panics
+// after Len() records, matching the contract of a stream opened at an
+// exact scale.
+func (r *Replayer) Next() (trace.Record, coherence.MissInfo) {
+	i := r.i
+	if i >= r.n {
+		panic("dataset: replay past the end of the recorded trace")
+	}
+	r.i = i + 1
+	c, j := r.chunks[i>>chunkShift], i&chunkMask
+	return trace.Record{
+			Addr:      c.addr[j],
+			PC:        c.pc[j],
+			Requester: c.req[j],
+			Kind:      c.kind[j],
+			Gap:       c.gap[j],
+		}, coherence.MissInfo{
+			Home:           nodeset.NodeID(uint64(c.addr[j]) % r.nodes),
+			Owner:          c.owner[j],
+			Sharers:        c.sharers[j],
+			RequesterState: c.reqState[j],
+		}
+}
+
+// Remaining returns how many records are left.
+func (r *Replayer) Remaining() int { return r.n - r.i }
+
+// Rewind repositions the cursor at the first warm record.
+func (r *Replayer) Rewind() { r.i = 0 }

@@ -1,0 +1,337 @@
+package dataset
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"destset/internal/coherence"
+	"destset/internal/trace"
+	"destset/internal/workload"
+)
+
+func testParams(t *testing.T, seed uint64) workload.Params {
+	t.Helper()
+	p, err := workload.Preset("barnes-hut", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small streaming regions keep the oracle's block table (and the
+	// test) small without changing any code path.
+	p.SharedUnits = 200
+	p.StreamBlocksPerNode = 4096
+	return p
+}
+
+// TestReplayMatchesLiveGenerator is the core fidelity property: replaying
+// a dataset yields exactly the records and annotations a live generator
+// stream produces (gaps aside, which the dataset rescales the way
+// Generator.Generate always has).
+func TestReplayMatchesLiveGenerator(t *testing.T) {
+	const warm, measure = 1500, 1500
+	p := testParams(t, 3)
+	d, err := Generate(p, warm, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := d.Replay()
+	if r.Remaining() != warm+measure {
+		t.Fatalf("Remaining = %d, want %d", r.Remaining(), warm+measure)
+	}
+	for i := 0; i < warm+measure; i++ {
+		want, wantMI := g.Next()
+		got, gotMI := r.Next()
+		want.Gap, got.Gap = 0, 0 // gaps are rescaled; everything else exact
+		if got != want {
+			t.Fatalf("record %d: replay %+v, live %+v", i, got, want)
+		}
+		if gotMI != wantMI {
+			t.Fatalf("record %d: replay MissInfo %+v, live %+v", i, gotMI, wantMI)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining after full replay = %d", r.Remaining())
+	}
+}
+
+// TestGapsMatchGeneratorGenerate pins the materialized views to the
+// legacy Generator.Generate output bit for bit, per region.
+func TestGapsMatchGeneratorGenerate(t *testing.T) {
+	const warm, measure = 1200, 800
+	p := testParams(t, 5)
+	d, err := Generate(p, warm, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWarm, _ := g.Generate(warm)
+	wantMeas, _ := g.Generate(measure)
+	for name, pair := range map[string][2]*trace.Trace{
+		"warm":    {d.WarmTrace(), wantWarm},
+		"measure": {d.MeasureTrace(), wantMeas},
+	} {
+		got, want := pair[0], pair[1]
+		if got.Nodes != want.Nodes || got.Len() != want.Len() {
+			t.Fatalf("%s: shape %d/%d vs %d/%d", name, got.Nodes, got.Len(), want.Nodes, want.Len())
+		}
+		for i := range want.Records {
+			if got.Records[i] != want.Records[i] {
+				t.Fatalf("%s record %d: %+v vs %+v", name, i, got.Records[i], want.Records[i])
+			}
+		}
+	}
+	if tr := d.WarmTrace(); tr != d.WarmTrace() {
+		t.Error("WarmTrace not memoized")
+	}
+}
+
+// TestBlockStatsMatchSystem checks the compact snapshot against the live
+// oracle's per-block statistics.
+func TestBlockStatsMatchSystem(t *testing.T) {
+	const warm, measure = 1000, 1000
+	p := testParams(t, 9)
+	d, err := Generate(p, warm, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < warm+measure; i++ {
+		g.Next()
+	}
+	var want []coherence.BlockStat
+	g.System().ForEachTouchedBlock(func(b coherence.BlockStat) { want = append(want, b) })
+	got := d.BlockStats()
+	if len(got) != len(want) {
+		t.Fatalf("%d block stats, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("block stat %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestReplayersAreIndependent runs interleaved cursors over one dataset.
+func TestReplayersAreIndependent(t *testing.T) {
+	p := testParams(t, 2)
+	d, err := Generate(p, 300, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := d.Replay(), d.Replay()
+	for i := 0; i < 200; i++ {
+		a.Next()
+	}
+	recB, _ := b.Next()
+	recA0, _ := d.At(0)
+	if recB != recA0 {
+		t.Errorf("second replayer disturbed by first: %+v vs %+v", recB, recA0)
+	}
+	b.Rewind()
+	recB2, _ := b.Next()
+	if recB2 != recA0 {
+		t.Errorf("rewound replayer: %+v vs %+v", recB2, recA0)
+	}
+}
+
+// TestStoreSingleflight hammers one key from many goroutines and counts
+// generations.
+func TestStoreSingleflight(t *testing.T) {
+	s := NewStore()
+	p := testParams(t, 4)
+	key := KeyOf(p, 200, 200)
+	var gens int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	results := make([]*Dataset, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ds, err := s.Get(key, func() (*Dataset, error) {
+				mu.Lock()
+				gens++
+				mu.Unlock()
+				return Generate(p, 200, 200)
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = ds
+		}(i)
+	}
+	wg.Wait()
+	if gens != 1 {
+		t.Errorf("generated %d times, want 1", gens)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Errorf("caller %d got a different dataset pointer", i)
+		}
+	}
+	if n, bytes, hits, misses := s.Stats(); n != 1 || bytes <= 0 || hits+misses != 16 {
+		t.Errorf("stats = (%d, %d, %d, %d)", n, bytes, hits, misses)
+	}
+}
+
+// TestStoreErrorsAreNotCached verifies a failed generation retries.
+func TestStoreErrorsAreNotCached(t *testing.T) {
+	s := NewStore()
+	key := Key{Source: "bad", Warm: 1, Measure: 1}
+	calls := 0
+	gen := func() (*Dataset, error) {
+		calls++
+		if calls == 1 {
+			return nil, fmt.Errorf("transient")
+		}
+		return Generate(testParams(t, 1), 50, 50)
+	}
+	if _, err := s.Get(key, gen); err == nil {
+		t.Fatal("first Get should fail")
+	}
+	if _, err := s.Get(key, gen); err != nil {
+		t.Fatalf("second Get should regenerate: %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("generator ran %d times, want 2", calls)
+	}
+}
+
+// TestStoreLimitEvictsLRU fills a store past its byte limit and checks
+// the least-recently-used dataset goes first.
+func TestStoreLimitEvictsLRU(t *testing.T) {
+	s := NewStore()
+	mk := func(seed uint64) (Key, func() (*Dataset, error)) {
+		p := testParams(t, seed)
+		return KeyOf(p, 100, 100), func() (*Dataset, error) { return Generate(p, 100, 100) }
+	}
+	k1, g1 := mk(1)
+	k2, g2 := mk(2)
+	d1, err := s.Get(k1, g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetLimit(d1.Bytes() + d1.Bytes()/2) // room for ~1.5 datasets
+	if _, err := s.Get(k2, g2); err != nil {
+		t.Fatal(err)
+	}
+	if n, _, _, _ := s.Stats(); n != 1 {
+		t.Fatalf("after over-limit insert: %d datasets resident, want 1", n)
+	}
+	// k1 was evicted; getting it again regenerates (a store miss).
+	regen := 0
+	if _, err := s.Get(k1, func() (*Dataset, error) { regen++; return Generate(testParams(t, 1), 100, 100) }); err != nil {
+		t.Fatal(err)
+	}
+	if regen != 1 {
+		t.Errorf("evicted key regenerated %d times, want 1", regen)
+	}
+	if s.Purge() == 0 {
+		t.Error("Purge dropped nothing")
+	}
+	if n, bytes, _, _ := s.Stats(); n != 0 || bytes != 0 {
+		t.Errorf("after purge: %d datasets, %d bytes", n, bytes)
+	}
+}
+
+// TestStoreCountsMaterializedViews pins the late-allocation accounting:
+// legacy trace views materialized after insert (the timing path) must
+// show up in the store's byte total, or a configured limit would be
+// silently defeated.
+func TestStoreCountsMaterializedViews(t *testing.T) {
+	s := NewStore()
+	p := testParams(t, 6)
+	const warm, measure = 150, 250
+	ds, err := s.Get(KeyOf(p, warm, measure), func() (*Dataset, error) { return Generate(p, warm, measure) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, before, _, _ := s.Stats()
+	ds.WarmTrace()
+	ds.MeasureTrace()
+	ds.WarmTrace() // memoized: must not double-charge
+	_, after, _, _ := s.Stats()
+	if want := before + int64(warm+measure)*perLegacy; after != want {
+		t.Errorf("bytes after materialization = %d, want %d (before %d)", after, want, before)
+	}
+	s.Purge()
+	if _, bytes, _, _ := s.Stats(); bytes != 0 {
+		t.Errorf("bytes after purge = %d, want 0 (growth must be uncharged on removal)", bytes)
+	}
+}
+
+// TestPurgeDetachesInFlightGeneration pins the Purge contract: a
+// generation in flight when Purge runs completes for its waiters but is
+// not cached.
+func TestPurgeDetachesInFlightGeneration(t *testing.T) {
+	s := NewStore()
+	p := testParams(t, 7)
+	key := KeyOf(p, 100, 100)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan *Dataset, 1)
+	go func() {
+		ds, err := s.Get(key, func() (*Dataset, error) {
+			close(started)
+			<-release
+			return Generate(p, 100, 100)
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- ds
+	}()
+	<-started
+	if n := s.Purge(); n != 0 {
+		t.Errorf("Purge dropped %d cached datasets, want 0", n)
+	}
+	close(release)
+	if ds := <-done; ds == nil {
+		t.Fatal("waiter did not receive its dataset")
+	}
+	if n, bytes, _, _ := s.Stats(); n != 0 || bytes != 0 {
+		t.Errorf("purged-while-generating dataset was cached: %d datasets, %d bytes", n, bytes)
+	}
+	// The key regenerates fresh on next use.
+	regen := 0
+	if _, err := s.Get(key, func() (*Dataset, error) { regen++; return Generate(p, 100, 100) }); err != nil {
+		t.Fatal(err)
+	}
+	if regen != 1 {
+		t.Errorf("detached key regenerated %d times, want 1", regen)
+	}
+}
+
+// TestKeyOfDistinguishesParams ensures structural parameter differences
+// (including slice contents and seeds) produce distinct keys.
+func TestKeyOfDistinguishesParams(t *testing.T) {
+	a := testParams(t, 1)
+	b := testParams(t, 1)
+	if KeyOf(a, 10, 10) != KeyOf(b, 10, 10) {
+		t.Error("equal params should share a key")
+	}
+	b.Seed = 2
+	if KeyOf(a, 10, 10) == KeyOf(b, 10, 10) {
+		t.Error("different seeds must not share a key")
+	}
+	c := testParams(t, 1)
+	c.GroupSizeWeights = append([]float64(nil), c.GroupSizeWeights...)
+	c.GroupSizeWeights[2]++
+	if KeyOf(a, 10, 10) == KeyOf(c, 10, 10) {
+		t.Error("different weight slices must not share a key")
+	}
+	if KeyOf(a, 10, 10) == KeyOf(a, 10, 20) {
+		t.Error("different scales must not share a key")
+	}
+}

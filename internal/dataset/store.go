@@ -1,0 +1,225 @@
+package dataset
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"destset/internal/workload"
+)
+
+// Key identifies one generated dataset: a workload identity fingerprint
+// plus the generation scale. Two sweep cells with equal keys replay the
+// same in-memory dataset.
+type Key struct {
+	// Source fingerprints everything that determines the stream contents
+	// — the full workload parameters including the seed.
+	Source string
+	// Warm and Measure are the generation scale in misses.
+	Warm, Measure int
+}
+
+// KeyOf fingerprints a fully-resolved workload (seed already applied) at
+// the given scale. The fingerprint renders every Params field, including
+// slice contents, so two structurally equal parameter sets share a
+// dataset and any difference — a tweaked mixture weight, another seed —
+// gets its own.
+func KeyOf(p workload.Params, warm, measure int) Key {
+	return Key{Source: fmt.Sprintf("%#v", p), Warm: warm, Measure: measure}
+}
+
+// entry is one memoized dataset. The store hands out entries under its
+// lock but generates outside it: the first caller runs gen inside the
+// entry's once while later callers block on the same once, so every key
+// is generated exactly once no matter how many sweep cells race for it.
+type entry struct {
+	once sync.Once
+	ds   *Dataset
+	err  error
+	elem *list.Element // position in the store's LRU list
+	// charged is what this entry currently contributes to the store's
+	// byte total: the dataset's generation-time footprint plus any
+	// legacy views materialized since (reported through Dataset.grow).
+	charged int64
+}
+
+// Store memoizes datasets by key. The zero value is not ready; use
+// NewStore. All methods are safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	lru     *list.List // of Key, front = most recently used
+	bytes   int64
+	limit   int64
+	hits    uint64
+	misses  uint64
+}
+
+// NewStore returns an empty store with no size limit.
+func NewStore() *Store {
+	return &Store{entries: make(map[Key]*entry), lru: list.New()}
+}
+
+// Shared is the process-wide store the experiment Runner and harnesses
+// use, so repeated sweeps — even across independent Runner instances —
+// generate each (workload, seed, scale) trace once per process.
+var Shared = NewStore()
+
+// SetLimit caps the store's resident dataset bytes; 0 (the default)
+// means unbounded. When an insert pushes the total over the limit the
+// least-recently-used datasets are evicted (never the one being
+// inserted). Evicted keys regenerate on next use.
+func (s *Store) SetLimit(bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.limit = bytes
+	s.trimLocked(nil)
+}
+
+// Get returns the dataset for key, generating it with gen on first use.
+// Concurrent callers of the same key share one generation; callers of
+// different keys generate in parallel. A failed generation is not cached.
+func (s *Store) Get(key Key, gen func() (*Dataset, error)) (*Dataset, error) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if ok {
+		s.hits++
+		if e.elem != nil {
+			s.lru.MoveToFront(e.elem)
+		}
+	} else {
+		s.misses++
+		e = &entry{}
+		s.entries[key] = e
+	}
+	s.mu.Unlock()
+
+	e.once.Do(func() {
+		e.ds, e.err = gen()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if e.err != nil {
+			// Do not cache failures: the next caller retries.
+			if s.entries[key] == e {
+				delete(s.entries, key)
+			}
+			return
+		}
+		if s.entries[key] != e {
+			// Purged while generating: hand the dataset to the waiters
+			// without caching it.
+			return
+		}
+		e.elem = s.lru.PushFront(key)
+		e.charged = e.ds.Bytes()
+		s.bytes += e.charged
+		// Late allocations (materialized legacy views) keep the byte
+		// accounting honest: without this, timing-path datasets would
+		// outgrow their recorded footprint by up to ~1.75x and defeat
+		// the limit.
+		e.ds.grow = func(delta int64) { s.growEntry(e, delta) }
+		s.trimLocked(e)
+	})
+	return e.ds, e.err
+}
+
+// growEntry records a dataset's late allocation against its entry and,
+// while the entry is still resident, against the store's byte total.
+func (s *Store) growEntry(e *entry, delta int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e.charged += delta
+	if e.elem != nil {
+		s.bytes += delta
+		s.trimLocked(e)
+	}
+}
+
+// trimLocked evicts LRU entries until the byte total fits the limit,
+// sparing keep (the entry just inserted). Callers hold s.mu.
+func (s *Store) trimLocked(keep *entry) {
+	if s.limit <= 0 {
+		return
+	}
+	for s.bytes > s.limit {
+		back := s.lru.Back()
+		if back == nil {
+			return
+		}
+		key := back.Value.(Key)
+		e := s.entries[key]
+		if e == keep {
+			// The newest dataset may alone exceed the limit; keep it
+			// rather than thrash.
+			if s.lru.Len() == 1 {
+				return
+			}
+			s.lru.MoveToFront(back)
+			continue
+		}
+		s.removeLocked(key, e)
+	}
+}
+
+// removeLocked drops one fully-generated entry. Callers hold s.mu.
+func (s *Store) removeLocked(key Key, e *entry) {
+	delete(s.entries, key)
+	if e.elem != nil {
+		s.lru.Remove(e.elem)
+		e.elem = nil
+	}
+	s.bytes -= e.charged
+	e.charged = 0
+}
+
+// Purge drops every cached dataset and returns how many were dropped.
+// In-flight generations are unaffected (their callers still get their
+// dataset; it just won't be cached under a purged key — the entry object
+// itself survives for them).
+func (s *Store) Purge() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for key, e := range s.entries {
+		if e.elem == nil {
+			// Still generating: detach it so it completes uncached;
+			// waiters blocked on the entry still get their dataset.
+			delete(s.entries, key)
+			continue
+		}
+		s.removeLocked(key, e)
+		n++
+	}
+	return n
+}
+
+// Stats reports the store's resident datasets, byte total, and
+// hit/miss counters since process start.
+func (s *Store) Stats() (datasets int, bytes int64, hits, misses uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len(), s.bytes, s.hits, s.misses
+}
+
+// OpenShared resolves a fully-specified workload through the Shared
+// store and returns a fresh replay cursor — the sweep path's stream
+// source. The dataset is generated on the first call for its key and
+// replayed by every later call.
+func OpenShared(p workload.Params, warm, measure int) (*Replayer, error) {
+	ds, err := Shared.Get(KeyOf(p, warm, measure), func() (*Dataset, error) {
+		return Generate(p, warm, measure)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ds.Replay(), nil
+}
+
+// GetShared resolves a fully-specified workload through the Shared store
+// and returns the dataset itself — the experiment harnesses' entry
+// point.
+func GetShared(p workload.Params, warm, measure int) (*Dataset, error) {
+	return Shared.Get(KeyOf(p, warm, measure), func() (*Dataset, error) {
+		return Generate(p, warm, measure)
+	})
+}

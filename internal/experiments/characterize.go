@@ -61,7 +61,7 @@ func characterizeDataset(d *Dataset) Characterization {
 	nodes := d.Params.Nodes
 	c := Characterization{
 		Workload:        d.Params.Name,
-		Misses:          uint64(d.Trace.Len()),
+		Misses:          uint64(d.Data.Measure()),
 		BlocksTouchedBy: make([]float64, nodes+1),
 		MissesTouchedBy: make([]float64, nodes+1),
 		LocalityNs:      LocalityCurvePoints,
@@ -76,8 +76,7 @@ func characterizeDataset(d *Dataset) Characterization {
 	var indirect uint64
 	var instr uint64
 
-	for i, rec := range d.Trace.Records {
-		mi := d.Infos[i]
+	d.Data.EachMeasured(func(rec trace.Record, mi coherence.MissInfo) {
 		req := requesterOf(rec)
 		instr += uint64(rec.Gap)
 		pcs[rec.PC] = struct{}{}
@@ -93,7 +92,7 @@ func characterizeDataset(d *Dataset) Characterization {
 			byMacro.Add(uint64(trace.Macroblock(rec.Addr, trace.MacroblockBytes)))
 			byPC.Add(uint64(rec.PC))
 		}
-	}
+	})
 	c.StaticPCs = len(pcs)
 	c.DirIndirectPc = stats.Ratio(indirect, c.Misses)
 	if instr > 0 {
@@ -111,12 +110,12 @@ func characterizeDataset(d *Dataset) Characterization {
 	missHist := stats.NewHistogram(nodes)
 	var touched64 uint64
 	macroSeen := make(map[trace.Addr]struct{})
-	d.System.ForEachTouchedBlock(func(b coherence.BlockStat) {
+	for _, b := range d.Data.BlockStats() {
 		touched64++
 		macroSeen[trace.Macroblock(b.Addr, trace.MacroblockBytes)] = struct{}{}
 		blockHist.Add(b.Touched.Count())
 		missHist.AddN(b.Touched.Count(), uint64(b.Misses))
-	})
+	}
 	c.TouchedMB64 = float64(touched64) * trace.BlockBytes / (1 << 20)
 	c.TouchedMB1024 = float64(len(macroSeen)) * trace.MacroblockBytes / (1 << 20)
 	for n := 1; n <= nodes; n++ {

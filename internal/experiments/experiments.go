@@ -20,7 +20,7 @@ import (
 	"fmt"
 
 	"destset"
-	"destset/internal/coherence"
+	"destset/internal/dataset"
 	"destset/internal/nodeset"
 	"destset/internal/predictor"
 	"destset/internal/sweep"
@@ -92,39 +92,32 @@ func (o Options) workloads() ([]workload.Params, error) {
 	return out, nil
 }
 
-// Dataset is one workload's generated, annotated trace: the warm region,
-// the measured region and the oracle that produced them. Figures that
-// need the same workload share a dataset instead of regenerating.
+// Dataset is one workload's generated, annotated trace, backed by the
+// process-wide columnar dataset store: generated once per (workload,
+// seed, scale), replayed by every figure and sweep cell that needs it.
 type Dataset struct {
-	Params    workload.Params
-	Warm      *trace.Trace
-	WarmInfos []coherence.MissInfo
-	Trace     *trace.Trace
-	Infos     []coherence.MissInfo
-	System    *coherence.System
+	Params workload.Params
+	// Data is the shared columnar recording: warm region, measured
+	// region, per-miss coherence annotations and whole-run block
+	// statistics.
+	Data *dataset.Dataset
 }
 
-// NewDataset generates a workload's dataset at the given scale.
+// NewDataset resolves a workload's dataset at the given scale through
+// the shared store, generating it only if no earlier experiment or sweep
+// already has.
 func NewDataset(p workload.Params, warm, measure int) (*Dataset, error) {
-	g, err := workload.New(p)
+	ds, err := dataset.GetShared(p, warm, measure)
 	if err != nil {
 		return nil, err
 	}
-	wt, winfos := g.Generate(warm)
-	mt, infos := g.Generate(measure)
-	return &Dataset{
-		Params:    p,
-		Warm:      wt,
-		WarmInfos: winfos,
-		Trace:     mt,
-		Infos:     infos,
-		System:    g.System(),
-	}, nil
+	return &Dataset{Params: p, Data: ds}, nil
 }
 
-// datasets generates every selected workload's dataset, fanning the
-// generation over a worker pool (each dataset is an independent seeded
-// generator, so the output is identical at any parallelism).
+// datasets resolves every selected workload's dataset, fanning any
+// still-missing generations over a worker pool (each dataset is an
+// independent seeded generator, so the output is identical at any
+// parallelism).
 func (o Options) datasets() ([]*Dataset, error) {
 	params, err := o.workloads()
 	if err != nil {
@@ -142,27 +135,6 @@ func (o Options) datasets() ([]*Dataset, error) {
 	return out, nil
 }
 
-// replayStream replays a dataset's warm region then its measured region
-// through a fresh cursor, so many engines can train and measure on the
-// same annotated trace concurrently.
-type replayStream struct {
-	d *Dataset
-	i int
-}
-
-func (r *replayStream) Next() (trace.Record, coherence.MissInfo) {
-	warm := len(r.d.Warm.Records)
-	if r.i < warm {
-		rec, mi := r.d.Warm.Records[r.i], r.d.WarmInfos[r.i]
-		r.i++
-		return rec, mi
-	}
-	j := r.i - warm
-	rec, mi := r.d.Trace.Records[j], r.d.Infos[j]
-	r.i++
-	return rec, mi
-}
-
 // explicitScale marks a zero miss count as "explicitly none" for
 // WorkloadSpec, whose 0 means "inherit the runner default".
 func explicitScale(n int) int {
@@ -173,17 +145,17 @@ func explicitScale(n int) int {
 }
 
 // ReplaySpec adapts the dataset for the public Runner: the sweep replays
-// the already-generated warm and measured regions instead of
-// regenerating them, which keeps every engine's comparison like-for-like
-// on the identical trace.
+// the already-generated warm and measured regions through zero-copy
+// cursors instead of regenerating them, which keeps every engine's
+// comparison like-for-like on the identical trace.
 func (d *Dataset) ReplaySpec() destset.WorkloadSpec {
 	return destset.WorkloadSpec{
 		Name:    d.Params.Name,
 		Nodes:   d.Params.Nodes,
-		Warm:    explicitScale(len(d.Warm.Records)),
-		Measure: explicitScale(len(d.Trace.Records)),
+		Warm:    explicitScale(d.Data.Warm()),
+		Measure: explicitScale(d.Data.Measure()),
 		Open: func(uint64) (destset.Stream, error) {
-			return &replayStream{d: d}, nil
+			return d.Data.Replay(), nil
 		},
 	}
 }

@@ -69,9 +69,10 @@ func BandwidthSweep(opt Options, bandwidthsBytesPerNs []float64) ([]BandwidthPoi
 		mc.Interconnect.BytesPerNs = bw
 		cfgs = append(cfgs, mc)
 	}
+	warmTr, timedTr := d.Data.WarmTrace(), d.Data.MeasureTrace()
 	out := make([]BandwidthPoint, len(cfgs))
 	err = sweep.ForEach(context.Background(), len(cfgs), opt.Parallelism, func(i int) error {
-		res, err := sim.Run(cfgs[i], d.Warm, d.Trace)
+		res, err := sim.Run(cfgs[i], warmTr, timedTr)
 		if err != nil {
 			return err
 		}

@@ -67,9 +67,12 @@ func runTiming(opt Options, name string, cpu sim.CPUModel) (WorkloadTiming, erro
 	// The execution-driven runs dominate experiment time; each protocol
 	// configuration simulates the same read-only dataset independently,
 	// so they fan out over the worker pool with deterministic results.
+	// Materialize the contiguous record views once, outside the worker
+	// pool, so the fan-out below only reads.
+	warmTr, timedTr := d.Data.WarmTrace(), d.Data.MeasureTrace()
 	wt.Points = make([]TimingPoint, len(cfgs))
 	err = sweep.ForEach(context.Background(), len(cfgs), opt.Parallelism, func(i int) error {
-		res, err := sim.Run(cfgs[i], d.Warm, d.Trace)
+		res, err := sim.Run(cfgs[i], warmTr, timedTr)
 		if err != nil {
 			return err
 		}

@@ -82,8 +82,9 @@ func Figure7Variability(opt Options, workloadName string, runs int) ([]Variabili
 		}
 		perRunRuntime[r] = make([]float64, len(cfgs))
 		perRunTraffic[r] = make([]float64, len(cfgs))
+		warmTr, timedTr := d.Data.WarmTrace(), d.Data.MeasureTrace()
 		for i, cfg := range cfgs {
-			res, err := sim.Run(cfg, d.Warm, d.Trace)
+			res, err := sim.Run(cfg, warmTr, timedTr)
 			if err != nil {
 				return err
 			}

@@ -43,6 +43,8 @@ func newOwner(cfg Config) *ownerPredictor {
 
 func (p *ownerPredictor) Name() string { return p.cfg.Name() }
 
+func (p *ownerPredictor) CloneFresh() Predictor { return newOwner(p.cfg) }
+
 func (p *ownerPredictor) Predict(q Query) nodeset.Set {
 	min := q.MinimalSet()
 	if e := p.table.Lookup(p.cfg.Indexing.Key(q.Addr, q.PC)); e != nil && e.valid {
@@ -100,6 +102,8 @@ func newBIS(cfg Config) *bisPredictor {
 
 func (p *bisPredictor) Name() string { return p.cfg.Name() }
 
+func (p *bisPredictor) CloneFresh() Predictor { return newBIS(p.cfg) }
+
 func (p *bisPredictor) Predict(q Query) nodeset.Set {
 	if e := p.table.Lookup(p.cfg.Indexing.Key(q.Addr, q.PC)); e != nil && e.counter > 1 {
 		return p.all
@@ -135,24 +139,58 @@ func (p *bisPredictor) TrainRetry(Retry) {}
 // defaultRolloverLimit is the paper's 5-bit rollover counter.
 const defaultRolloverLimit = 32
 
+// laneLSB masks the low bit of every 2-bit counter lane.
+const laneLSB = 0x5555555555555555
+
 // groupEntry holds one 2-bit counter per node plus the 5-bit rollover
 // counter that implements training-down: when the rollover counter wraps,
 // every per-node counter is decremented, so processors that stopped
 // touching the block eventually leave the predicted set.
+//
+// The counters are packed as 2-bit lanes in two machine words (node n
+// occupies bits 2n..2n+1 of lo for n < 32, of hi otherwise), so an entry
+// is a flat value — no per-entry allocation, and the decay sweep and
+// predicted-set extraction are a handful of SWAR bit operations instead
+// of per-node loops. This is also how the hardware in the paper would
+// build it: a row of 2-bit saturating counters, not an array walk.
 type groupEntry struct {
-	counters []uint8
+	lo, hi   uint64
 	rollover uint8
 }
 
-func (e *groupEntry) init(nodes int) {
-	if e.counters == nil {
-		e.counters = make([]uint8, nodes)
+// inc2w saturates-up the 2-bit lane for bit offset sh within w.
+func inc2w(w uint64, sh uint) uint64 {
+	if w>>sh&3 < 3 {
+		w += 1 << sh
 	}
+	return w
 }
 
-func (e *groupEntry) bump(n nodeset.NodeID, nodes, limit int) {
-	e.init(nodes)
-	e.counters[n] = inc2(e.counters[n])
+// dec2nz decrements every non-zero 2-bit lane of w by one: a lane is
+// non-zero iff either of its bits is set, and subtracting the resulting
+// lane-LSB mask never borrows across lanes.
+func dec2nz(w uint64) uint64 {
+	return w - ((w | w>>1) & laneLSB)
+}
+
+// compactOdd gathers the odd bits of w (bit 2n+1 for lane n) into the
+// low 32 bits — the "counter > 1" test for all lanes at once, since a
+// 2-bit counter exceeds 1 exactly when its high bit is set.
+func compactOdd(w uint64) uint64 {
+	w = (w >> 1) & laneLSB
+	w = (w | w>>1) & 0x3333333333333333
+	w = (w | w>>2) & 0x0F0F0F0F0F0F0F0F
+	w = (w | w>>4) & 0x00FF00FF00FF00FF
+	w = (w | w>>8) & 0x0000FFFF0000FFFF
+	return (w | w>>16) & 0x00000000FFFFFFFF
+}
+
+func (e *groupEntry) bump(n nodeset.NodeID, limit int) {
+	if n < 32 {
+		e.lo = inc2w(e.lo, 2*uint(n))
+	} else {
+		e.hi = inc2w(e.hi, 2*uint(n-32))
+	}
 	e.tick(limit)
 }
 
@@ -160,20 +198,13 @@ func (e *groupEntry) tick(limit int) {
 	e.rollover++
 	if int(e.rollover) >= limit {
 		e.rollover = 0
-		for i := range e.counters {
-			e.counters[i] = dec2(e.counters[i])
-		}
+		e.lo = dec2nz(e.lo)
+		e.hi = dec2nz(e.hi)
 	}
 }
 
 func (e *groupEntry) predicted() nodeset.Set {
-	var s nodeset.Set
-	for n, c := range e.counters {
-		if c > 1 {
-			s = s.Add(nodeset.NodeID(n))
-		}
-	}
-	return s
+	return nodeset.Set(compactOdd(e.lo) | compactOdd(e.hi)<<32)
 }
 
 type groupPredictor struct {
@@ -190,6 +221,8 @@ func newGroup(cfg Config) *groupPredictor {
 
 func (p *groupPredictor) Name() string { return p.cfg.Name() }
 
+func (p *groupPredictor) CloneFresh() Predictor { return newGroup(p.cfg) }
+
 func (p *groupPredictor) Predict(q Query) nodeset.Set {
 	min := q.MinimalSet()
 	if e := p.table.Lookup(p.cfg.Indexing.Key(q.Addr, q.PC)); e != nil {
@@ -203,19 +236,18 @@ func (p *groupPredictor) TrainResponse(ev Response) {
 	if ev.FromMemory {
 		// No allocation; an existing entry still advances its decay clock.
 		if e := p.table.Lookup(key); e != nil {
-			e.init(p.cfg.Nodes)
 			e.tick(p.cfg.GroupRollover)
 		}
 		return
 	}
-	p.table.LookupAlloc(key).bump(ev.Responder, p.cfg.Nodes, p.cfg.GroupRollover)
+	p.table.LookupAlloc(key).bump(ev.Responder, p.cfg.GroupRollover)
 }
 
 func (p *groupPredictor) TrainRequest(ev External) {
 	// Group increments "on each request or response" (§3.3): readers join
 	// the predicted set so that writes find the sharers they must
 	// invalidate.
-	p.table.LookupAlloc(p.cfg.Indexing.Key(ev.Addr, ev.PC)).bump(ev.Requester, p.cfg.Nodes, p.cfg.GroupRollover)
+	p.table.LookupAlloc(p.cfg.Indexing.Key(ev.Addr, ev.PC)).bump(ev.Requester, p.cfg.GroupRollover)
 }
 
 func (p *groupPredictor) TrainRetry(Retry) {}
@@ -244,6 +276,8 @@ func newOwnerGroup(cfg Config) *ownerGroupPredictor {
 
 func (p *ownerGroupPredictor) Name() string { return p.cfg.Name() }
 
+func (p *ownerGroupPredictor) CloneFresh() Predictor { return newOwnerGroup(p.cfg) }
+
 func (p *ownerGroupPredictor) Predict(q Query) nodeset.Set {
 	min := q.MinimalSet()
 	e := p.table.Lookup(p.cfg.Indexing.Key(q.Addr, q.PC))
@@ -267,21 +301,20 @@ func (p *ownerGroupPredictor) TrainResponse(ev Response) {
 	if ev.FromMemory {
 		if e := p.table.Lookup(key); e != nil {
 			e.owner.valid = false
-			e.group.init(p.cfg.Nodes)
 			e.group.tick(p.cfg.GroupRollover)
 		}
 		return
 	}
 	e := p.table.LookupAlloc(key)
 	e.owner = ownerEntry{owner: ev.Responder, valid: true}
-	e.group.bump(ev.Responder, p.cfg.Nodes, p.cfg.GroupRollover)
+	e.group.bump(ev.Responder, p.cfg.GroupRollover)
 }
 
 func (p *ownerGroupPredictor) TrainRequest(ev External) {
 	e := p.table.LookupAlloc(p.cfg.Indexing.Key(ev.Addr, ev.PC))
 	// The group side counts all requests (readers must be invalidated by
 	// later writes); the owner side only tracks writers.
-	e.group.bump(ev.Requester, p.cfg.Nodes, p.cfg.GroupRollover)
+	e.group.bump(ev.Requester, p.cfg.GroupRollover)
 	if ev.Kind == trace.GetExclusive {
 		e.owner = ownerEntry{owner: ev.Requester, valid: true}
 	}

@@ -51,6 +51,8 @@ func newStickySpatial(cfg Config) *stickySpatialPredictor {
 
 func (p *stickySpatialPredictor) Name() string { return p.cfg.Name() }
 
+func (p *stickySpatialPredictor) CloneFresh() Predictor { return newStickySpatial(p.cfg) }
+
 func (p *stickySpatialPredictor) index(addr trace.Addr, pc trace.PC) uint64 {
 	return p.cfg.Indexing.Key(addr, pc) & p.mask
 }

@@ -1,0 +1,67 @@
+package protocol
+
+import (
+	"testing"
+
+	"destset/internal/coherence"
+	"destset/internal/nodeset"
+	"destset/internal/predictor"
+	"destset/internal/trace"
+)
+
+// recordStream pre-generates an annotated miss stream for the allocation
+// budgets, so the measured loop touches only Engine.Process.
+func recordStream(n int) ([]trace.Record, []coherence.MissInfo) {
+	sys := testSystem()
+	recs := make([]trace.Record, 0, n)
+	infos := make([]coherence.MissInfo, 0, n)
+	for i := 0; len(recs) < n; i++ {
+		node := nodeset.NodeID(i % 7)
+		addr := trace.Addr((i * 17) % 193)
+		access := coherence.Load
+		kind := trace.GetShared
+		if i%3 == 0 {
+			access, kind = coherence.Store, trace.GetExclusive
+		}
+		mi, isMiss := sys.Access(node, addr, access)
+		if !isMiss {
+			continue
+		}
+		recs = append(recs, trace.Record{Addr: addr, Requester: uint8(node), Kind: kind})
+		infos = append(infos, mi)
+	}
+	return recs, infos
+}
+
+// TestProcessAllocFree is the protocol-accounting allocation budget:
+// Process runs once per miss on every engine of every sweep cell and
+// must never allocate.
+func TestProcessAllocFree(t *testing.T) {
+	recs, infos := recordStream(4096)
+	engines := map[string]Engine{
+		"snooping":  NewSnooping(16),
+		"directory": NewDirectory(),
+	}
+	for _, pol := range []predictor.Policy{
+		predictor.Owner, predictor.BroadcastIfShared, predictor.Group,
+		predictor.OwnerGroup, predictor.StickySpatial, predictor.Oracle,
+	} {
+		engines["multicast/"+pol.String()] =
+			NewMulticast(predictor.NewBank(predictor.DefaultConfig(pol, 16)))
+	}
+	engines["predictive-directory"] =
+		NewPredictiveDirectory(predictor.NewBank(predictor.DefaultConfig(predictor.Owner, 16)))
+
+	for name, eng := range engines {
+		t.Run(name, func(t *testing.T) {
+			i := 0
+			if n := testing.AllocsPerRun(1000, func() {
+				j := i % len(recs)
+				eng.Process(recs[j], infos[j])
+				i++
+			}); n != 0 {
+				t.Errorf("Process allocates %.1f/op, want 0", n)
+			}
+		})
+	}
+}

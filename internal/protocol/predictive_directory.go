@@ -67,20 +67,28 @@ func (p *PredictiveDirectory) Name() string {
 	return "PredictiveDirectory+" + p.preds[0].Name()
 }
 
-// Reset implements Engine: outcome counters clear, and factory-built
-// engines also replace the predictor bank with a fresh, untrained one.
+// Reset implements Engine: outcome counters clear and the predictor
+// bank is replaced with a fresh, untrained one — via the factory when
+// one was provided, via predictor.Cloner otherwise. Only caller-owned
+// banks with non-cloneable members keep their training.
 func (p *PredictiveDirectory) Reset() {
 	p.stats = PredictiveDirectoryStats{}
 	if p.newBank != nil {
 		p.preds = p.newBank()
+	} else if fresh, ok := predictor.CloneBank(p.preds); ok {
+		p.preds = fresh
 	}
 }
 
-// Clone implements Engine. Factory-built engines clone with their own
-// fresh bank; bank-wrapping engines share the caller's bank.
+// Clone implements Engine. Factory-built and cloneable banks yield an
+// independent fresh bank; only non-cloneable caller-owned banks are
+// shared with the clone.
 func (p *PredictiveDirectory) Clone() Engine {
 	if p.newBank != nil {
 		return NewPredictiveDirectoryWithFactory(p.newBank)
+	}
+	if fresh, ok := predictor.CloneBank(p.preds); ok {
+		return NewPredictiveDirectory(fresh)
 	}
 	return NewPredictiveDirectory(p.preds)
 }
@@ -141,9 +149,11 @@ func (p *PredictiveDirectory) Process(rec trace.Record, mi coherence.MissInfo) R
 	if haveGuess {
 		observers = observers.Add(guess)
 	}
-	observers.Remove(req).ForEach(func(n nodeset.NodeID) {
+	for rem := observers.Remove(req); !rem.Empty(); {
+		n := rem.First()
+		rem = rem.Remove(n)
 		p.preds[n].TrainRequest(ext)
-	})
+	}
 	if responder, fromMemory, none := mi.Responder(req); !none {
 		p.preds[req].TrainResponse(predictor.Response{
 			Addr:       rec.Addr,

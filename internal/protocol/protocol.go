@@ -67,15 +67,17 @@ type Engine interface {
 	Name() string
 	// Reset restores the engine to its freshly-constructed state so it
 	// can be reused for another run. Engines wrapping a caller-owned
-	// predictor bank (NewMulticast, NewPredictiveDirectory) cannot
-	// rebuild the bank: they clear accounting counters but keep the
-	// bank's training. Use the *WithFactory constructors (or the engine
-	// registry) for full-fidelity resets.
+	// predictor bank (NewMulticast, NewPredictiveDirectory) rebuild the
+	// bank fresh when every member implements predictor.Cloner — all
+	// built-in policies do; otherwise they clear accounting counters
+	// but keep the bank's training. The *WithFactory constructors (and
+	// the engine registry) always reset with full fidelity.
 	Reset()
 	// Clone returns an engine with the same configuration and no
 	// accumulated accounting state. Factory-built engines clone with a
-	// fresh, untrained predictor bank; engines wrapping a caller-owned
-	// bank share it with their clones.
+	// fresh, untrained predictor bank, as do bank-wrapping engines whose
+	// members all implement predictor.Cloner; only banks with
+	// non-cloneable custom predictors are shared with clones.
 	Clone() Engine
 }
 
@@ -212,20 +214,28 @@ func NewMulticastWithFactory(newBank func() []predictor.Predictor) *Multicast {
 // Name implements Engine.
 func (m *Multicast) Name() string { return "Multicast+" + m.preds[0].Name() }
 
-// Reset implements Engine: accuracy counters clear, and factory-built
-// engines also replace the predictor bank with a fresh, untrained one.
+// Reset implements Engine: accuracy counters clear and the predictor
+// bank is replaced with a fresh, untrained one — via the factory when
+// one was provided, via predictor.Cloner otherwise. Only caller-owned
+// banks with non-cloneable members keep their training.
 func (m *Multicast) Reset() {
 	m.stats = MulticastStats{}
 	if m.newBank != nil {
 		m.preds = m.newBank()
+	} else if fresh, ok := predictor.CloneBank(m.preds); ok {
+		m.preds = fresh
 	}
 }
 
-// Clone implements Engine. Factory-built engines clone with their own
-// fresh bank; bank-wrapping engines share the caller's bank.
+// Clone implements Engine. Factory-built and cloneable banks yield an
+// independent fresh bank; only non-cloneable caller-owned banks are
+// shared with the clone.
 func (m *Multicast) Clone() Engine {
 	if m.newBank != nil {
 		return NewMulticastWithFactory(m.newBank)
+	}
+	if fresh, ok := predictor.CloneBank(m.preds); ok {
+		return NewMulticast(fresh)
 	}
 	return NewMulticast(m.preds)
 }
@@ -275,11 +285,15 @@ func (m *Multicast) Process(rec trace.Record, mi coherence.MissInfo) Result {
 	m.stats.NeededNodes += uint64(needed.Count())
 
 	// Training: every node that received the request observes it; the
-	// requester observes the data response.
+	// requester observes the data response. The explicit bit loop (rather
+	// than Set.ForEach with a closure) keeps this path free of per-miss
+	// call overhead — it runs up to nodes-1 times per miss.
 	ext := predictor.External{Addr: rec.Addr, PC: rec.PC, Requester: req, Kind: rec.Kind}
-	observers.Remove(req).ForEach(func(n nodeset.NodeID) {
+	for rem := observers.Remove(req); !rem.Empty(); {
+		n := rem.First()
+		rem = rem.Remove(n)
 		m.preds[n].TrainRequest(ext)
-	})
+	}
 	if responder, fromMemory, none := mi.Responder(req); !none {
 		m.preds[req].TrainResponse(predictor.Response{
 			Addr:       rec.Addr,

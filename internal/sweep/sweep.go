@@ -8,8 +8,11 @@
 // cell builds its own fresh engine and opens its own miss stream, both
 // of which are pure functions of the cell's coordinates, so cells never
 // share mutable state and their results are reproducible at any
-// parallelism. Results are written to a slot indexed by the cell's
-// position in the cross-product, then compacted in order.
+// parallelism. Streams may replay a shared immutable dataset (each cell
+// still gets its own cursor); workloads expose Prepare so such datasets
+// materialize across the worker pool before cells run. Results are
+// written to a slot indexed by the cell's position in the
+// cross-product, then compacted in order.
 package sweep
 
 import (
@@ -50,6 +53,13 @@ type Workload struct {
 	// Open returns a fresh stream positioned at the beginning. The same
 	// seed must yield the same stream contents.
 	Open func(seed uint64) (Stream, error)
+	// Prepare, when non-nil, materializes whatever Open(seed) will
+	// replay — typically a shared dataset — without returning a stream.
+	// Run calls it once per (workload, seed) pair across the worker pool
+	// before any cell starts, so expensive one-time generation runs at
+	// full parallelism instead of serializing the cells that race to
+	// open the same source first.
+	Prepare func(seed uint64) error
 	// Warm misses train caches and predictors without being measured.
 	Warm int
 	// Measure misses are accounted.
@@ -137,6 +147,36 @@ func Run(ctx context.Context, engines []Engine, workloads []Workload, cfg Config
 			for _, s := range seeds {
 				cells = append(cells, cell{engine: e, workload: w, seed: s})
 			}
+		}
+	}
+
+	// Prewarm phase: materialize every shared stream source once per
+	// (workload, seed) before any cell runs. Without it, the first cells
+	// of each workload would race to open the same source and all but
+	// one worker would idle behind the winner's generation.
+	type prepJob struct {
+		w    int
+		seed uint64
+	}
+	var preps []prepJob
+	for w := range workloads {
+		if workloads[w].Prepare == nil {
+			continue
+		}
+		for _, s := range seeds {
+			preps = append(preps, prepJob{w: w, seed: s})
+		}
+	}
+	if len(preps) > 0 {
+		err := ForEach(ctx, len(preps), cfg.parallelism(), func(i int) error {
+			p := preps[i]
+			if err := workloads[p.w].Prepare(p.seed); err != nil {
+				return fmt.Errorf("sweep: workload %q: %w", workloads[p.w].Name, err)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 

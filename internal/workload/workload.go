@@ -191,8 +191,12 @@ type Generator struct {
 	streamBase   []trace.Addr
 	streamCursor []int
 
-	// burst is the queue of accesses the current step still has to issue.
-	burst []access
+	// burst is the queue of accesses the current step still has to issue;
+	// burstHead indexes the next one. Consuming by index (instead of
+	// reslicing the front off) lets the queue reset to burst[:0] between
+	// steps, so one backing array is reused for the generator's lifetime.
+	burst     []access
+	burstHead int
 
 	instr     []uint64 // per-node instruction counters (for gap bookkeeping)
 	generated uint64
@@ -362,12 +366,14 @@ func (g *Generator) Params() Params { return g.p }
 // coherence annotation.
 func (g *Generator) Next() (trace.Record, coherence.MissInfo) {
 	for {
-		if len(g.burst) == 0 {
+		if g.burstHead >= len(g.burst) {
+			g.burst = g.burst[:0]
+			g.burstHead = 0
 			g.step()
 			continue
 		}
-		a := g.burst[0]
-		g.burst = g.burst[1:]
+		a := g.burst[g.burstHead]
+		g.burstHead++
 		mi, miss := g.sys.Access(a.node, a.addr, a.kind)
 		if !miss {
 			continue

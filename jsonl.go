@@ -1,0 +1,100 @@
+package destset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONLObserver spills sweep observations to a writer as JSON Lines, one
+// observation per line — the checkpoint format for long sweeps: a
+// partially-written file is still a valid prefix, and live dashboards
+// can tail it.
+//
+// Wire it to a Runner with WithObserver(o.Observe). The Runner
+// serializes observer calls, so the observer needs no locking of its
+// own; writes are buffered and must be Flush'd (or Close'd) when the
+// sweep ends. Encoding or write errors are sticky: the first one stops
+// further output and is reported by Err, Flush and Close.
+type JSONLObserver struct {
+	w   io.Writer
+	bw  *bufio.Writer
+	err error
+}
+
+// NewJSONLObserver returns an observer writing to w.
+func NewJSONLObserver(w io.Writer) *JSONLObserver {
+	return &JSONLObserver{w: w, bw: bufio.NewWriter(w)}
+}
+
+// Observe writes one observation line. It is an Observer.
+func (o *JSONLObserver) Observe(obs Observation) {
+	if o.err != nil {
+		return
+	}
+	raw, err := json.Marshal(obs)
+	if err != nil {
+		o.err = fmt.Errorf("destset: encoding observation: %w", err)
+		return
+	}
+	raw = append(raw, '\n')
+	if _, err := o.bw.Write(raw); err != nil {
+		o.err = fmt.Errorf("destset: writing observation: %w", err)
+	}
+}
+
+// Err returns the first error encountered, if any.
+func (o *JSONLObserver) Err() error { return o.err }
+
+// Flush writes any buffered observations through to the underlying
+// writer and returns the observer's first error.
+func (o *JSONLObserver) Flush() error {
+	if o.err == nil {
+		if err := o.bw.Flush(); err != nil {
+			o.err = fmt.Errorf("destset: flushing observations: %w", err)
+		}
+	}
+	return o.err
+}
+
+// Close flushes and, when the underlying writer is an io.Closer, closes
+// it. The first error wins.
+func (o *JSONLObserver) Close() error {
+	ferr := o.Flush()
+	if c, ok := o.w.(io.Closer); ok {
+		if cerr := c.Close(); cerr != nil && o.err == nil {
+			o.err = fmt.Errorf("destset: closing observation sink: %w", cerr)
+		}
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return o.err
+}
+
+// ReadObservations decodes a JSON Lines observation stream, as written
+// by JSONLObserver, back into observations. Blank lines are skipped; a
+// malformed line fails with its 1-based line number.
+func ReadObservations(r io.Reader) ([]Observation, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Observation
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var obs Observation
+		if err := json.Unmarshal(raw, &obs); err != nil {
+			return out, fmt.Errorf("destset: observation line %d: %w", line, err)
+		}
+		out = append(out, obs)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("destset: reading observations: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package destset_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"destset"
+)
+
+// TestJSONLObserverRoundTrip runs a real sweep through the JSONL sink
+// and decodes the file back: every streamed observation must survive
+// the trip, in order.
+func TestJSONLObserverRoundTrip(t *testing.T) {
+	var want []destset.Observation
+	var buf bytes.Buffer
+	sink := destset.NewJSONLObserver(&buf)
+	_, err := destset.NewRunner(
+		[]destset.EngineSpec{destset.SpecForPolicy(destset.Group), {Protocol: destset.ProtocolDirectory}},
+		[]destset.WorkloadSpec{{Name: "ocean", Warm: 500, Measure: 3000}},
+		destset.WithSeeds(1, 2),
+		destset.WithInterval(1000),
+		destset.WithObserver(func(o destset.Observation) {
+			want = append(want, o)
+			sink.Observe(o)
+		}),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("sweep streamed no observations")
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(want) {
+		t.Fatalf("%d lines written for %d observations", lines, len(want))
+	}
+
+	got, err := destset.ReadObservations(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestReadObservationsRejectsGarbage checks malformed lines fail with
+// their line number while blank lines are tolerated.
+func TestReadObservationsRejectsGarbage(t *testing.T) {
+	in := "{\"Engine\":\"a\"}\n\n{not json}\n"
+	obs, err := destset.ReadObservations(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("err = %v, want line-3 decode failure", err)
+	}
+	if len(obs) != 1 || obs[0].Engine != "a" {
+		t.Errorf("prefix observations = %+v", obs)
+	}
+}
+
+// failWriter fails after n bytes to exercise sticky errors.
+type failWriter struct{ left int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if len(p) > f.left {
+		n := f.left
+		f.left = 0
+		return n, fmt.Errorf("disk full")
+	}
+	f.left -= len(p)
+	return len(p), nil
+}
+
+func TestJSONLObserverStickyError(t *testing.T) {
+	sink := destset.NewJSONLObserver(&failWriter{left: 10})
+	for i := 0; i < 20_000; i++ {
+		sink.Observe(destset.Observation{Engine: "e", Workload: "w", Interval: i})
+	}
+	if err := sink.Flush(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Errorf("Flush err = %v, want sticky write failure", err)
+	}
+	if sink.Err() == nil {
+		t.Error("Err should report the sticky failure")
+	}
+}

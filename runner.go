@@ -96,10 +96,15 @@ func WithContext(ctx context.Context) RunnerOption {
 }
 
 // Runner fans a []EngineSpec × []WorkloadSpec × seeds cross-product
-// over a worker pool. Every cell builds a fresh engine and a fresh
-// workload stream from its specs, so results are deterministic
-// regardless of goroutine scheduling: Run returns the same results in
-// the same order at parallelism 1 and parallelism N.
+// over a worker pool. Every cell builds a fresh engine, and Name- and
+// Params-based workloads resolve through the process-wide dataset
+// store: each (workload, seed, scale) trace is generated once — across
+// cells, Runners and experiment harnesses alike — and every cell
+// replays it through its own zero-copy cursor. Cells therefore share
+// no mutable state and results are deterministic regardless of
+// goroutine scheduling: Run returns the same results in the same order
+// at parallelism 1 and parallelism N, byte-identical to regenerating
+// the stream per cell.
 type Runner struct {
 	engines   []EngineSpec
 	workloads []WorkloadSpec

@@ -3,6 +3,7 @@ package destset
 import (
 	"fmt"
 
+	"destset/internal/dataset"
 	"destset/internal/predictor"
 	"destset/internal/protocol"
 	"destset/internal/sweep"
@@ -258,11 +259,12 @@ func (w WorkloadSpec) resolve(defaultWarm, defaultMeasure int) (sweep.Workload, 
 		if sw.Nodes == 0 {
 			sw.Nodes = base.Nodes
 		}
-		sw.Open = func(seed uint64) (Stream, error) {
+		params := func(seed uint64) (workload.Params, error) {
 			p := base
 			p.Seed = seed
-			return workload.New(p)
+			return p, nil
 		}
+		sw.Open, sw.Prepare = sharedDatasetSource(params, warm, measure)
 	case w.Name != "":
 		base, err := workload.Preset(w.Name, 0)
 		if err != nil {
@@ -272,17 +274,39 @@ func (w WorkloadSpec) resolve(defaultWarm, defaultMeasure int) (sweep.Workload, 
 			sw.Nodes = base.Nodes
 		}
 		name := w.Name
-		sw.Open = func(seed uint64) (Stream, error) {
-			p, err := workload.Preset(name, seed)
-			if err != nil {
-				return nil, err
-			}
-			return workload.New(p)
+		params := func(seed uint64) (workload.Params, error) {
+			return workload.Preset(name, seed)
 		}
+		sw.Open, sw.Prepare = sharedDatasetSource(params, warm, measure)
 	default:
 		return sweep.Workload{}, fmt.Errorf("destset: workload spec needs a Name, Params or Open source")
 	}
 	return sw, nil
+}
+
+// sharedDatasetSource builds the generate-once/replay-many stream source
+// for a resolvable workload: each (params, seed, scale) trace is
+// generated once in the process-wide dataset store and every sweep cell
+// replays it through a fresh zero-copy cursor. Prepare materializes the
+// dataset ahead of the cells so generation fans out across the worker
+// pool.
+func sharedDatasetSource(params func(seed uint64) (workload.Params, error), warm, measure int) (open func(uint64) (Stream, error), prepare func(uint64) error) {
+	open = func(seed uint64) (Stream, error) {
+		p, err := params(seed)
+		if err != nil {
+			return nil, err
+		}
+		return dataset.OpenShared(p, warm, measure)
+	}
+	prepare = func(seed uint64) error {
+		p, err := params(seed)
+		if err != nil {
+			return err
+		}
+		_, err = dataset.GetShared(p, warm, measure)
+		return err
+	}
+	return open, prepare
 }
 
 // NewWorkloadGenerator resolves a WorkloadSpec into a generator seeded
