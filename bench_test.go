@@ -12,6 +12,7 @@ package destset_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"destset/internal/experiments"
@@ -149,7 +150,7 @@ func BenchmarkFigure7(b *testing.B) {
 	opt.Workloads = []string{"oltp"}
 	var last []experiments.WorkloadTiming
 	for i := 0; i < b.N; i++ {
-		panels, err := experiments.Figure7(opt)
+		panels, err := experiments.Figure7(context.Background(), opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -167,7 +168,7 @@ func BenchmarkFigure8(b *testing.B) {
 	opt.Workloads = []string{"oltp"}
 	var last []experiments.WorkloadTiming
 	for i := 0; i < b.N; i++ {
-		panels, err := experiments.Figure8(opt)
+		panels, err := experiments.Figure8(context.Background(), opt)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -96,9 +96,11 @@ func index(rows []row) map[string]row {
 	return m
 }
 
-// defaultKeys are the benchmarks the trend check guards: the two
-// headline experiment harnesses plus the hot-path micro-benchmarks.
-const defaultKeys = "BenchmarkTable2,BenchmarkFigure5,BenchmarkProtocolMulticastProcess,BenchmarkPredictorPredict/Group,BenchmarkPredictorTrain"
+// defaultKeys are the benchmarks the trend check guards: the headline
+// trace-driven harnesses, the execution-driven timing sweep (Figure 7,
+// guarding the simulator's zero-alloc hot loop and the TimingRunner
+// plumbing), plus the hot-path micro-benchmarks.
+const defaultKeys = "BenchmarkTable2,BenchmarkFigure5,BenchmarkFigure7,BenchmarkProtocolMulticastProcess,BenchmarkPredictorPredict/Group,BenchmarkPredictorTrain"
 
 // compare reports per-key deltas and whether any exceeds the thresholds.
 func compare(baseline, latest map[string]row, keys []string, timePct, bytesPct float64) (lines []string, failed bool) {

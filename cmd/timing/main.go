@@ -5,20 +5,34 @@
 // Usage:
 //
 //	timing [-warm N] [-misses N] [-seed S] [-workloads a,b] [-parallel N]
-//	       [-fig7] [-fig8]
+//	       [-protocols snooping,multicast+group] [-cpu simple|detailed]
+//	       [-fig7] [-fig8] [-sweep] [-runs N] [-json]
 //
-// The per-protocol simulations of each figure run concurrently;
-// -parallel caps the worker pool.
+// Every simulation rides the SimSpec/TimingRunner sweep: the
+// per-protocol cells of each figure run concurrently over the worker
+// pool (-parallel caps it), -protocols restricts the six Figure 7/8
+// configurations by spec label, and -cpu restricts the processor model
+// (simple selects Figure 7, detailed Figure 8).
+//
+// -json switches the output from formatted tables to JSON Lines on
+// stdout, streamed through the observer sink as cells complete: one
+// TimingObservation per simulated (protocol, workload, seed) cell,
+// decodable with destset.ReadTimingObservations. Ctrl-C cancels the
+// sweep promptly; completed cells are already on stdout.
 //
 // With no selection flags, both figures are printed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
+	"destset"
 	"destset/internal/experiments"
 )
 
@@ -28,13 +42,19 @@ func main() {
 		misses    = flag.Int("misses", 100_000, "timed misses per workload")
 		seed      = flag.Uint64("seed", 1, "workload generation seed")
 		workloads = flag.String("workloads", "", "comma-separated workload subset")
+		protocols = flag.String("protocols", "", "comma-separated protocol subset (spec labels: snooping, directory, multicast+group, ...)")
+		cpu       = flag.String("cpu", "", "processor model subset: simple (Figure 7) or detailed (Figure 8)")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = all CPUs)")
 		fig7      = flag.Bool("fig7", false, "print Figure 7 only")
 		fig8      = flag.Bool("fig8", false, "print Figure 8 only")
-		sweep     = flag.Bool("sweep", false, "print the link-bandwidth sweep (extension)")
+		sweepFlag = flag.Bool("sweep", false, "print the link-bandwidth sweep (extension)")
 		runs      = flag.Int("runs", 0, "average over N perturbed runs (the paper's §5.2 variability methodology)")
+		jsonOut   = flag.Bool("json", false, "emit per-cell timing observations as JSON Lines instead of tables")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opt := experiments.DefaultOptions()
 	opt.Seed = *seed
@@ -44,52 +64,101 @@ func main() {
 	if *workloads != "" {
 		opt.Workloads = strings.Split(*workloads, ",")
 	}
-	all := !*fig7 && !*fig8 && !*sweep && *runs == 0
+	if *protocols != "" {
+		opt.Protocols = strings.Split(*protocols, ",")
+	}
+
+	var sink *destset.JSONLObserver
+	if *jsonOut {
+		sink = destset.NewJSONLObserver(os.Stdout)
+		opt.TimingObserver = sink.ObserveTiming
+		defer sink.Flush()
+	}
 
 	fail := func(err error) {
+		if sink != nil {
+			sink.Flush()
+		}
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "timing: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "timing:", err)
 		os.Exit(1)
 	}
-	if all || *fig7 {
-		panels, err := experiments.Figure7(opt)
-		if err != nil {
-			fail(err)
+
+	wantFig7, wantFig8 := *fig7, *fig8
+	switch *cpu {
+	case "":
+	case "simple":
+		if *fig8 {
+			fail(fmt.Errorf("-cpu simple conflicts with -fig8 (the detailed-model figure)"))
 		}
-		fmt.Println(experiments.FormatTiming(
-			"Figure 7: simple processor model (runtime normalized to directory, traffic to snooping)",
-			panels))
+		wantFig7, wantFig8 = true, false
+	case "detailed":
+		if *fig7 {
+			fail(fmt.Errorf("-cpu detailed conflicts with -fig7 (the simple-model figure)"))
+		}
+		wantFig7, wantFig8 = false, true
+	default:
+		fail(fmt.Errorf("unknown -cpu %q (want simple or detailed)", *cpu))
 	}
-	if all || *fig8 {
-		panels, err := experiments.Figure8(opt)
+	all := !wantFig7 && !wantFig8 && !*sweepFlag && *runs == 0 && *cpu == ""
+
+	if all || wantFig7 {
+		panels, err := experiments.Figure7(ctx, opt)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(experiments.FormatTiming(
-			"Figure 8: detailed processor model", panels))
+		if !*jsonOut {
+			fmt.Println(experiments.FormatTiming(
+				"Figure 7: simple processor model (runtime normalized to directory, traffic to snooping)",
+				panels))
+		}
+	}
+	if all || wantFig8 {
+		panels, err := experiments.Figure8(ctx, opt)
+		if err != nil {
+			fail(err)
+		}
+		if !*jsonOut {
+			fmt.Println(experiments.FormatTiming(
+				"Figure 8: detailed processor model", panels))
+		}
 	}
 	if *runs > 0 {
 		name := "oltp"
 		if len(opt.Workloads) > 0 {
 			name = opt.Workloads[0]
 		}
-		pts, err := experiments.Figure7Variability(opt, name, *runs)
+		pts, err := experiments.Figure7Variability(ctx, opt, name, *runs)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("Variability: %s averaged over %d perturbed runs (§5.2 methodology)\n", name, *runs)
-		for _, pt := range pts {
-			fmt.Printf("  %-40s %12.1f us  ± %8.1f us  (CV %.3f)  %7.1f B/miss\n",
-				pt.Config, pt.MeanRuntimeNs/1000, pt.StddevNs/1000, pt.CoeffVar, pt.MeanBPM)
+		if !*jsonOut {
+			fmt.Printf("Variability: %s averaged over %d perturbed runs (§5.2 methodology)\n", name, *runs)
+			for _, pt := range pts {
+				fmt.Printf("  %-40s %12.1f us  ± %8.1f us  (CV %.3f)  %7.1f B/miss\n",
+					pt.Config, pt.MeanRuntimeNs/1000, pt.StddevNs/1000, pt.CoeffVar, pt.MeanBPM)
+			}
 		}
 	}
-	if all || *sweep {
-		pts, err := experiments.BandwidthSweep(opt, []float64{0.3, 0.6, 1.25, 2.5, 5, 10, 20})
+	if all || *sweepFlag {
+		pts, err := experiments.BandwidthSweep(ctx, opt, []float64{0.3, 0.6, 1.25, 2.5, 5, 10, 20})
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println("Extension: link-bandwidth sweep (runtime in us, lower is better)")
-		for _, pt := range pts {
-			fmt.Printf("  %6.2f B/ns  %-36s %12.1f\n", pt.BytesPerNs, pt.Config, pt.RuntimeNs/1000)
+		if !*jsonOut {
+			fmt.Println("Extension: link-bandwidth sweep (runtime in us, lower is better)")
+			for _, pt := range pts {
+				fmt.Printf("  %6.2f B/ns  %-36s %12.1f\n", pt.BytesPerNs, pt.Config, pt.RuntimeNs/1000)
+			}
+		}
+	}
+	if sink != nil {
+		if err := sink.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "timing:", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -35,6 +35,14 @@
 //   - EvaluatePolicy / Evaluate: one-call wrappers over the Runner for a
 //     single tradeoff point.
 //
+// The execution-driven timing model (§5) is spec-driven through the same
+// architecture: SimSpec describes a timing configuration (protocol,
+// policy, CPU model, Table-4 knob overrides) and TimingRunner fans
+// []SimSpec × []WorkloadSpec × seeds over the worker pool with the same
+// determinism, cancellation and JSONL-observer affordances
+// (WithTimingObserver, EvaluateTiming). Timing cells replay the shared
+// dataset store zero-copy through random-access SimSources.
+//
 // The quickest start is EvaluatePolicy, which generates a workload,
 // warms a predictor bank and reports the latency/bandwidth tradeoff
 // point; see README.md for a Runner walkthrough, examples/ for full
@@ -186,6 +194,12 @@ type (
 	SimConfig = sim.Config
 	// SimResult reports runtime and traffic.
 	SimResult = sim.Result
+	// CPUModel selects the timing simulator's processor model (§5.2).
+	CPUModel = sim.CPUModel
+	// SimSource is a random-access record view the timing simulator
+	// replays; dataset regions and TraceSource-wrapped traces implement
+	// it.
+	SimSource = sim.Source
 )
 
 // Timing protocols.
@@ -209,6 +223,18 @@ func DefaultSimConfig(p sim.Protocol) SimConfig { return sim.DefaultConfig(p) }
 func RunTiming(cfg SimConfig, warm, timed *Trace) (SimResult, error) {
 	return sim.Run(cfg, warm, timed)
 }
+
+// SimulateTiming is the source-based, context-aware version of
+// RunTiming: it replays read-only record sources (shared dataset regions
+// or TraceSource-wrapped traces) and aborts promptly on cancellation.
+// The TimingRunner drives every cell through it; reach for it directly
+// when a single hand-built SimConfig is easier than a SimSpec.
+func SimulateTiming(ctx context.Context, cfg SimConfig, warm, timed SimSource) (SimResult, error) {
+	return sim.Simulate(ctx, cfg, warm, timed)
+}
+
+// TraceSource wraps an in-memory trace as a timing-simulator source.
+func TraceSource(t *Trace) SimSource { return sim.TraceSource(t) }
 
 // TradeoffResult is the outcome of EvaluatePolicy: one point on the
 // paper's latency/bandwidth plane.

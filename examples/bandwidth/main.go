@@ -5,12 +5,19 @@
 // over. Destination-set prediction tracks the better extreme across the
 // whole range — the paper's core argument for hybrid protocols (§1, §5.3).
 //
+// The sweep is pure spec data: one SimSpec per (protocol, bandwidth)
+// point with a LinkBytesPerNs override, fanned concurrently over the
+// TimingRunner. Every cell replays the same shared OLTP dataset through
+// zero-copy cursors, so adding bandwidth points costs simulation time
+// only, never regeneration.
+//
 // Run with:
 //
 //	go run ./examples/bandwidth
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,34 +25,38 @@ import (
 )
 
 func main() {
-	// The timing simulator consumes materialized traces; resolve the
-	// workload spec the same way the Runner does per sweep cell.
-	gen, err := destset.NewWorkloadGenerator(destset.WorkloadSpec{Name: "oltp"}, 1)
+	bandwidths := []float64{0.3, 0.6, 1.25, 2.5, 5, 10}
+
+	// Three protocols per bandwidth point: the two extremes plus
+	// multicast snooping with the paper's standout Group predictor.
+	var specs []destset.SimSpec
+	for _, bw := range bandwidths {
+		specs = append(specs,
+			destset.SimSpec{Protocol: destset.ProtocolSnooping, LinkBytesPerNs: bw},
+			destset.SimSpec{Protocol: destset.ProtocolDirectory, LinkBytesPerNs: bw},
+			destset.SimSpec{
+				Protocol: destset.ProtocolMulticast,
+				Policy:   destset.Group, UsePolicy: true,
+				LinkBytesPerNs: bw,
+			},
+		)
+	}
+
+	runner := destset.NewTimingRunner(specs,
+		[]destset.WorkloadSpec{{Name: "oltp", Warm: 40_000, Measure: 40_000}},
+	)
+	results, err := runner.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
-	}
-	warm, _ := gen.Generate(40_000)
-	timed, _ := gen.Generate(40_000)
-
-	mcast := destset.DefaultSimConfig(destset.SimMulticast)
-	mcast.Predictor = destset.DefaultPredictorConfig(destset.Group, 16)
-	configs := []destset.SimConfig{
-		destset.DefaultSimConfig(destset.SimSnooping),
-		destset.DefaultSimConfig(destset.SimDirectory),
-		mcast,
 	}
 
 	fmt.Println("OLTP runtime (us) vs link bandwidth — lower is better")
 	fmt.Printf("\n%-10s %12s %12s %16s  %s\n", "bandwidth", "snooping", "directory", "Multicast+Group", "winner")
-	for _, bw := range []float64{0.3, 0.6, 1.25, 2.5, 5, 10} {
-		runtimes := make([]float64, len(configs))
-		for i, cfg := range configs {
-			cfg.Interconnect.BytesPerNs = bw
-			res, err := destset.RunTiming(cfg, warm, timed)
-			if err != nil {
-				log.Fatal(err)
-			}
-			runtimes[i] = res.RuntimeNs / 1000
+	for i, bw := range bandwidths {
+		row := results[3*i : 3*i+3] // snooping, directory, multicast
+		runtimes := make([]float64, 3)
+		for j, r := range row {
+			runtimes[j] = r.Result.RuntimeNs / 1000
 		}
 		winner := "snooping"
 		if runtimes[1] < runtimes[0] {

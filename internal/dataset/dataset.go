@@ -266,6 +266,45 @@ func (d *Dataset) MeasureTrace() *trace.Trace {
 	return d.measTr
 }
 
+// RecordAt returns record i without assembling its coherence annotation
+// — the cheap accessor for consumers (the timing simulator) that evolve
+// their own live coherence state.
+func (d *Dataset) RecordAt(i int) trace.Record {
+	c, j := d.chunks[i>>chunkShift], i&chunkMask
+	return trace.Record{
+		Addr:      c.addr[j],
+		PC:        c.pc[j],
+		Requester: c.req[j],
+		Kind:      c.kind[j],
+		Gap:       c.gap[j],
+	}
+}
+
+// Region is a zero-copy, random-access view of one contiguous span of
+// the dataset, implementing the timing simulator's Source contract
+// (Nodes/Len/Record). Regions share the dataset's columns — no records
+// are materialized — and are immutable, so any number of concurrent
+// timing runs can replay the same region.
+type Region struct {
+	d      *Dataset
+	lo, hi int
+}
+
+// Nodes returns the traced system's node count.
+func (r Region) Nodes() int { return r.d.params.Nodes }
+
+// Len returns the region's record count.
+func (r Region) Len() int { return r.hi - r.lo }
+
+// Record returns the region's i-th record.
+func (r Region) Record(i int) trace.Record { return r.d.RecordAt(r.lo + i) }
+
+// WarmRegion returns the warm span as a zero-copy Source view.
+func (d *Dataset) WarmRegion() Region { return Region{d: d, lo: 0, hi: d.warm} }
+
+// MeasureRegion returns the measured span as a zero-copy Source view.
+func (d *Dataset) MeasureRegion() Region { return Region{d: d, lo: d.warm, hi: d.n} }
+
 // Replay returns a fresh zero-copy cursor positioned at the first warm
 // record. Replayers allocate nothing per Next call and never mutate the
 // dataset, so any number can run concurrently.

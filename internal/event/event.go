@@ -1,9 +1,14 @@
 // Package event provides the discrete-event simulation kernel for the
 // execution-driven timing model (§5): a time-ordered queue of callbacks
 // with deterministic FIFO tie-breaking at equal timestamps.
+//
+// The queue is allocation-free on the hot path: the binary heap is
+// hand-rolled over a plain slice (container/heap would box every item on
+// Push), and the AtArg/AfterArg variants let callers schedule a shared
+// handler with a pointer-typed argument instead of allocating a fresh
+// closure per event. Timing-simulator hot loops schedule millions of
+// events per run, so both matter.
 package event
-
-import "container/heap"
 
 // Time is simulated time in picoseconds. Picosecond resolution keeps all
 // of the paper's parameters exact integers (0.8 ns per 8-byte flit on a
@@ -25,34 +30,38 @@ func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
 // which it fires.
 type Handler func(now Time)
 
+// ArgHandler is a scheduled callback carrying an opaque argument. One
+// long-lived ArgHandler shared by many events replaces a per-event
+// closure; passing a pointer-typed arg keeps scheduling allocation-free
+// (pointers store into an interface without boxing).
+type ArgHandler func(now Time, arg any)
+
+// handlerEvent adapts a plain Handler to the ArgHandler representation
+// every queued item uses. Func values are pointer-shaped, so storing the
+// Handler itself as the item's arg does not allocate; only the closure
+// the caller built (if any) does.
+func handlerEvent(now Time, arg any) { arg.(Handler)(now) }
+
 type item struct {
 	at  Time
 	seq uint64
-	fn  Handler
+	fn  ArgHandler
+	arg any
 }
 
-type queue []item
-
-func (q queue) Len() int { return len(q) }
-func (q queue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// less orders items by (time, insertion sequence): a strict total order,
+// so the pop sequence is fully determined no matter how the heap
+// internally arranges equal-keyed siblings.
+func (a item) less(b item) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
-}
-func (q queue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *queue) Push(x interface{}) { *q = append(*q, x.(item)) }
-func (q *queue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+	return a.seq < b.seq
 }
 
 // Loop is a discrete-event simulator. The zero value is ready to use.
 type Loop struct {
-	q   queue
+	q   []item
 	now Time
 	seq uint64
 }
@@ -63,16 +72,64 @@ func (l *Loop) Now() Time { return l.now }
 // At schedules fn to run at absolute time at. Scheduling in the past
 // (before Now) fires the handler at the current time instead — events
 // cannot rewrite history.
-func (l *Loop) At(at Time, fn Handler) {
+func (l *Loop) At(at Time, fn Handler) { l.AtArg(at, handlerEvent, fn) }
+
+// After schedules fn to run d after the current time.
+func (l *Loop) After(d Time, fn Handler) { l.At(l.now+d, fn) }
+
+// AtArg schedules fn(at, arg) at absolute time at (clamped to Now, like
+// At). It is the allocation-free variant: fn is typically a long-lived
+// handler bound once, arg a pointer to the event's subject.
+func (l *Loop) AtArg(at Time, fn ArgHandler, arg any) {
 	if at < l.now {
 		at = l.now
 	}
 	l.seq++
-	heap.Push(&l.q, item{at: at, seq: l.seq, fn: fn})
+	l.push(item{at: at, seq: l.seq, fn: fn, arg: arg})
 }
 
-// After schedules fn to run d after the current time.
-func (l *Loop) After(d Time, fn Handler) { l.At(l.now+d, fn) }
+// AfterArg schedules fn(now+d, arg) relative to the current time.
+func (l *Loop) AfterArg(d Time, fn ArgHandler, arg any) { l.AtArg(l.now+d, fn, arg) }
+
+// push appends and sifts up (the standard binary-heap insertion).
+func (l *Loop) push(it item) {
+	l.q = append(l.q, it)
+	i := len(l.q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !l.q[i].less(l.q[parent]) {
+			break
+		}
+		l.q[i], l.q[parent] = l.q[parent], l.q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum item. The queue must be non-empty.
+func (l *Loop) pop() item {
+	top := l.q[0]
+	n := len(l.q) - 1
+	l.q[0] = l.q[n]
+	l.q[n] = item{} // release the arg reference
+	l.q = l.q[:n]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		min := i
+		if left < n && l.q[left].less(l.q[min]) {
+			min = left
+		}
+		if right < n && l.q[right].less(l.q[min]) {
+			min = right
+		}
+		if min == i {
+			break
+		}
+		l.q[i], l.q[min] = l.q[min], l.q[i]
+		i = min
+	}
+	return top
+}
 
 // Empty reports whether no events remain.
 func (l *Loop) Empty() bool { return len(l.q) == 0 }
@@ -82,9 +139,9 @@ func (l *Loop) Step() bool {
 	if len(l.q) == 0 {
 		return false
 	}
-	it := heap.Pop(&l.q).(item)
+	it := l.pop()
 	l.now = it.at
-	it.fn(l.now)
+	it.fn(l.now, it.arg)
 	return true
 }
 

@@ -47,10 +47,20 @@ type Options struct {
 	TimedMisses int
 	// Workloads restricts the benchmark set (default: all six).
 	Workloads []string
+	// Protocols restricts the execution-driven protocol configurations
+	// (§5), matched against SimSpec display labels: "snooping",
+	// "directory", "multicast+group", or policy shorthands like "owner".
+	// Empty keeps all six Figure 7/8 configurations.
+	Protocols []string
 	// Parallelism caps concurrently-evaluated sweep cells and dataset
 	// generations; <=0 uses GOMAXPROCS. Results are identical at every
 	// parallelism.
 	Parallelism int
+	// TimingObserver, when set, streams every execution-driven cell
+	// (protocol × workload × seed) to the observer as it completes —
+	// wire destset.NewJSONLObserver(w).ObserveTiming here to spill
+	// timing sweeps as JSON Lines.
+	TimingObserver destset.TimingObserver
 }
 
 // DefaultOptions returns the scale used for the committed EXPERIMENTS.md

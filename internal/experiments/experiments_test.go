@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -312,7 +313,7 @@ func TestFigure6cStickySpatialDominated(t *testing.T) {
 func TestFigure7PaperClaims(t *testing.T) {
 	opt := quick(t)
 	opt.Workloads = []string{"apache", "oltp"}
-	panels, err := Figure7(opt)
+	panels, err := Figure7(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +357,7 @@ func TestFigure7PaperClaims(t *testing.T) {
 func TestFigure8MirrorsFigure7(t *testing.T) {
 	opt := quick(t)
 	opt.Workloads = []string{"oltp"}
-	f8, err := Figure8(opt)
+	f8, err := Figure8(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,7 +373,7 @@ func TestFigure8MirrorsFigure7(t *testing.T) {
 	}
 	// The detailed core overlaps misses, so absolute runtime is lower
 	// than the simple model's.
-	f7, err := Figure7(opt)
+	f7, err := Figure7(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -425,7 +426,7 @@ func TestFormatters(t *testing.T) {
 	if out := FormatTradeoff("Figure 5", f5); !strings.Contains(out, "Snooping") {
 		t.Errorf("figure 5 format:\n%s", out)
 	}
-	f7, err := Figure7(opt)
+	f7, err := Figure7(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,8 +6,6 @@ import (
 
 	"destset"
 	"destset/internal/predictor"
-	"destset/internal/sim"
-	"destset/internal/sweep"
 )
 
 // The experiments in this file go beyond the paper's figures into the
@@ -36,8 +34,9 @@ type BandwidthPoint struct {
 // range of link bandwidths on one workload (default OLTP) with the simple
 // CPU model. At high bandwidth snooping wins on latency; as bandwidth
 // shrinks its broadcasts saturate the links and the bandwidth-efficient
-// protocols overtake it.
-func BandwidthSweep(opt Options, bandwidthsBytesPerNs []float64) ([]BandwidthPoint, error) {
+// protocols overtake it. Each (protocol, bandwidth) point is one SimSpec
+// with a LinkBytesPerNs override, fanned over the TimingRunner.
+func BandwidthSweep(ctx context.Context, opt Options, bandwidthsBytesPerNs []float64) ([]BandwidthPoint, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
@@ -45,46 +44,49 @@ func BandwidthSweep(opt Options, bandwidthsBytesPerNs []float64) ([]BandwidthPoi
 	if len(opt.Workloads) > 0 {
 		name = opt.Workloads[0]
 	}
-	o := opt
-	o.Workloads = []string{name}
-	params, err := o.workloads()
-	if err != nil {
-		return nil, err
+	base := []destset.SimSpec{
+		{Protocol: destset.ProtocolSnooping},
+		{Protocol: destset.ProtocolDirectory},
+		{Protocol: destset.ProtocolMulticast, Policy: predictor.Group, UsePolicy: true},
 	}
-	d, err := NewDataset(params[0], opt.TimedWarmMisses, opt.TimedMisses)
-	if err != nil {
-		return nil, err
+	if len(opt.Protocols) > 0 {
+		kept := base[:0]
+		for _, s := range base {
+			if matchesProtocol(s, opt.Protocols) {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("experiments: no bandwidth-sweep configuration matches protocols %v", opt.Protocols)
+		}
+		base = kept
 	}
-	var cfgs []sim.Config
+	var specs []destset.SimSpec
+	var bws []float64
 	for _, bw := range bandwidthsBytesPerNs {
-		for _, base := range []sim.Config{
-			sim.DefaultConfig(sim.Snooping),
-			sim.DefaultConfig(sim.Directory),
-		} {
-			base.Interconnect.BytesPerNs = bw
-			cfgs = append(cfgs, base)
+		for _, s := range base {
+			s.LinkBytesPerNs = bw
+			specs = append(specs, s)
+			bws = append(bws, bw)
 		}
-		mc := sim.DefaultConfig(sim.Multicast)
-		mc.Predictor = predictor.DefaultConfig(predictor.Group, d.Params.Nodes)
-		mc.Interconnect.BytesPerNs = bw
-		cfgs = append(cfgs, mc)
 	}
-	warmTr, timedTr := d.Data.WarmTrace(), d.Data.MeasureTrace()
-	out := make([]BandwidthPoint, len(cfgs))
-	err = sweep.ForEach(context.Background(), len(cfgs), opt.Parallelism, func(i int) error {
-		res, err := sim.Run(cfgs[i], warmTr, timedTr)
-		if err != nil {
-			return err
-		}
-		out[i] = BandwidthPoint{
-			Config:     cfgs[i].Name(),
-			BytesPerNs: cfgs[i].Interconnect.BytesPerNs,
-			RuntimeNs:  res.RuntimeNs,
-		}
-		return nil
-	})
+	runner := destset.NewTimingRunner(specs,
+		[]destset.WorkloadSpec{opt.timingWorkloadSpec(name)},
+		opt.timingRunnerOptions()...)
+	res, err := runner.Run(ctx)
 	if err != nil {
 		return nil, err
+	}
+	if len(res) != len(specs) {
+		return nil, fmt.Errorf("experiments: bandwidth sweep returned %d cells, want %d", len(res), len(specs))
+	}
+	out := make([]BandwidthPoint, len(res))
+	for i, r := range res {
+		out[i] = BandwidthPoint{
+			Config:     r.Config,
+			BytesPerNs: bws[i],
+			RuntimeNs:  r.Result.RuntimeNs,
+		}
 	}
 	return out, nil
 }

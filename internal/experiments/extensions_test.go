@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,7 @@ func TestBandwidthSweepCrossover(t *testing.T) {
 	// scarce, broadcast traffic saturates them and the ordering flips.
 	opt := quick(t)
 	opt.Workloads = []string{"oltp"}
-	pts, err := BandwidthSweep(opt, []float64{0.3, 10})
+	pts, err := BandwidthSweep(context.Background(), opt, []float64{0.3, 10})
 	if err != nil {
 		t.Fatal(err)
 	}

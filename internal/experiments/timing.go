@@ -2,10 +2,11 @@ package experiments
 
 import (
 	"context"
+	"fmt"
+	"strings"
 
+	"destset"
 	"destset/internal/predictor"
-	"destset/internal/sim"
-	"destset/internal/sweep"
 )
 
 // TimingPoint is one point on the Figure 7/8 plane: runtime normalized to
@@ -26,73 +27,132 @@ type WorkloadTiming struct {
 	Points   []TimingPoint
 }
 
-// timingConfigs builds the six protocol configurations of Figures 7/8.
-func timingConfigs(cpu sim.CPUModel, nodes int) []sim.Config {
-	cfgs := []sim.Config{
-		sim.DefaultConfig(sim.Snooping),
-		sim.DefaultConfig(sim.Directory),
+// TimingSpecs returns the six protocol configurations of Figures 7/8 as
+// sim specs for the public TimingRunner: the snooping and directory
+// extremes plus multicast snooping under the paper's four predictor
+// policies at the standout configuration.
+func TimingSpecs(cpu destset.CPUModel) []destset.SimSpec {
+	specs := []destset.SimSpec{
+		{Protocol: destset.ProtocolSnooping, CPU: cpu},
+		{Protocol: destset.ProtocolDirectory, CPU: cpu},
 	}
-	for _, pol := range []predictor.Policy{
-		predictor.Owner,
-		predictor.BroadcastIfShared,
-		predictor.Group,
-		predictor.OwnerGroup,
+	for _, pol := range []destset.Policy{
+		destset.Owner,
+		destset.BroadcastIfShared,
+		destset.Group,
+		destset.OwnerGroup,
 	} {
-		c := sim.DefaultConfig(sim.Multicast)
-		c.Predictor = predictor.DefaultConfig(pol, nodes)
-		cfgs = append(cfgs, c)
+		specs = append(specs, destset.SimSpec{
+			Protocol: destset.ProtocolMulticast,
+			Policy:   pol, UsePolicy: true,
+			CPU: cpu,
+		})
 	}
-	for i := range cfgs {
-		cfgs[i].CPU = cpu
-	}
-	return cfgs
+	return specs
 }
 
-// runTiming executes all configurations over one workload and normalizes
-// as the paper does (runtime to directory, traffic to snooping).
-func runTiming(opt Options, name string, cpu sim.CPUModel) (WorkloadTiming, error) {
-	o := opt
-	o.Workloads = []string{name}
-	params, err := o.workloads()
+// matchesProtocol reports whether a spec's display label (e.g.
+// "multicast+group") matches one of the filters. A filter matches the
+// whole label, its protocol part, or its policy part, after the policy
+// registry's name normalization — so "snooping", "Multicast+Group" and
+// "owner_group" all select what they read as.
+func matchesProtocol(spec destset.SimSpec, filters []string) bool {
+	label := spec.DisplayLabel()
+	proto, policy := label, ""
+	if i := strings.IndexByte(label, '+'); i >= 0 {
+		proto, policy = label[:i], label[i+1:]
+	}
+	for _, f := range filters {
+		cf := predictor.CanonicalName(f)
+		if cf == "" {
+			continue // an empty filter (e.g. a trailing comma) matches nothing
+		}
+		switch cf {
+		case predictor.CanonicalName(label), predictor.CanonicalName(proto), predictor.CanonicalName(policy):
+			return true
+		}
+	}
+	return false
+}
+
+// timingSpecs resolves the option set's timing configurations: the six
+// Figure 7/8 specs, restricted by Options.Protocols when set.
+func (o Options) timingSpecs(cpu destset.CPUModel) ([]destset.SimSpec, error) {
+	specs := TimingSpecs(cpu)
+	if len(o.Protocols) == 0 {
+		return specs, nil
+	}
+	out := specs[:0]
+	for _, s := range specs {
+		if matchesProtocol(s, o.Protocols) {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: no timing configuration matches protocols %v", o.Protocols)
+	}
+	return out, nil
+}
+
+// timingRunnerOptions assembles the shared TimingRunner options.
+func (o Options) timingRunnerOptions(seeds ...uint64) []destset.RunnerOption {
+	if len(seeds) == 0 {
+		seeds = []uint64{o.Seed}
+	}
+	opts := []destset.RunnerOption{
+		destset.WithSeeds(seeds...),
+		destset.WithParallelism(o.Parallelism),
+	}
+	if o.TimingObserver != nil {
+		opts = append(opts, destset.WithTimingObserver(o.TimingObserver))
+	}
+	return opts
+}
+
+// timingWorkloadSpec scales a named workload for the execution-driven
+// runs.
+func (o Options) timingWorkloadSpec(name string) destset.WorkloadSpec {
+	return destset.WorkloadSpec{
+		Name:    name,
+		Warm:    explicitScale(o.TimedWarmMisses),
+		Measure: explicitScale(o.TimedMisses),
+	}
+}
+
+// runTiming executes all configurations over one workload through the
+// TimingRunner and normalizes as the paper does (runtime to directory,
+// traffic to snooping). The runner fans the per-protocol simulations
+// over the worker pool — every cell replays the same shared dataset
+// zero-copy — and honors ctx.
+func runTiming(ctx context.Context, opt Options, name string, cpu destset.CPUModel) (WorkloadTiming, error) {
+	specs, err := opt.timingSpecs(cpu)
 	if err != nil {
 		return WorkloadTiming{}, err
 	}
-	d, err := NewDataset(params[0], opt.TimedWarmMisses, opt.TimedMisses)
+	runner := destset.NewTimingRunner(specs,
+		[]destset.WorkloadSpec{opt.timingWorkloadSpec(name)},
+		opt.timingRunnerOptions()...)
+	res, err := runner.Run(ctx)
 	if err != nil {
 		return WorkloadTiming{}, err
 	}
-	wt := WorkloadTiming{Workload: name}
+	if len(res) != len(specs) {
+		return WorkloadTiming{}, fmt.Errorf("experiments: timing sweep returned %d cells, want %d", len(res), len(specs))
+	}
+	wt := WorkloadTiming{Workload: name, Points: make([]TimingPoint, len(res))}
 	var dirRuntime, snoopTraffic float64
-	cfgs := timingConfigs(cpu, d.Params.Nodes)
-	// The execution-driven runs dominate experiment time; each protocol
-	// configuration simulates the same read-only dataset independently,
-	// so they fan out over the worker pool with deterministic results.
-	// Materialize the contiguous record views once, outside the worker
-	// pool, so the fan-out below only reads.
-	warmTr, timedTr := d.Data.WarmTrace(), d.Data.MeasureTrace()
-	wt.Points = make([]TimingPoint, len(cfgs))
-	err = sweep.ForEach(context.Background(), len(cfgs), opt.Parallelism, func(i int) error {
-		res, err := sim.Run(cfgs[i], warmTr, timedTr)
-		if err != nil {
-			return err
-		}
+	for i, r := range res {
 		wt.Points[i] = TimingPoint{
-			Config:       cfgs[i].Name(),
-			RuntimeNs:    res.RuntimeNs,
-			BytesPerMiss: res.BytesPerMiss(),
-			AvgLatencyNs: res.AvgMissLatencyNs,
+			Config:       r.Config,
+			RuntimeNs:    r.Result.RuntimeNs,
+			BytesPerMiss: r.Result.BytesPerMiss(),
+			AvgLatencyNs: r.Result.AvgMissLatencyNs,
 		}
-		return nil
-	})
-	if err != nil {
-		return WorkloadTiming{}, err
-	}
-	for i, cfg := range cfgs {
-		switch cfg.Protocol {
-		case sim.Directory:
-			dirRuntime = wt.Points[i].RuntimeNs
-		case sim.Snooping:
-			snoopTraffic = wt.Points[i].BytesPerMiss
+		switch specs[i].Protocol {
+		case destset.ProtocolDirectory:
+			dirRuntime = r.Result.RuntimeNs
+		case destset.ProtocolSnooping:
+			snoopTraffic = r.Result.BytesPerMiss()
 		}
 	}
 	for i := range wt.Points {
@@ -107,8 +167,9 @@ func runTiming(opt Options, name string, cpu sim.CPUModel) (WorkloadTiming, erro
 }
 
 // Figure7 reproduces the simple-processor-model runtime results for all
-// workloads (§5.3).
-func Figure7(opt Options) ([]WorkloadTiming, error) {
+// workloads (§5.3). It honors ctx: on cancellation the partial sweep is
+// abandoned promptly and the context's error returned.
+func Figure7(ctx context.Context, opt Options) ([]WorkloadTiming, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
@@ -118,7 +179,7 @@ func Figure7(opt Options) ([]WorkloadTiming, error) {
 	}
 	out := make([]WorkloadTiming, 0, len(params))
 	for _, p := range params {
-		wt, err := runTiming(opt, p.Name, sim.SimpleCPU)
+		wt, err := runTiming(ctx, opt, p.Name, destset.SimpleCPU)
 		if err != nil {
 			return nil, err
 		}
@@ -132,7 +193,7 @@ func Figure7(opt Options) ([]WorkloadTiming, error) {
 var Figure8Workloads = []string{"apache", "oltp", "specjbb"}
 
 // Figure8 reproduces the detailed-processor-model results (§5.3).
-func Figure8(opt Options) ([]WorkloadTiming, error) {
+func Figure8(ctx context.Context, opt Options) ([]WorkloadTiming, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
@@ -142,7 +203,7 @@ func Figure8(opt Options) ([]WorkloadTiming, error) {
 	}
 	out := make([]WorkloadTiming, 0, len(names))
 	for _, n := range names {
-		wt, err := runTiming(opt, n, sim.DetailedCPU)
+		wt, err := runTiming(ctx, opt, n, destset.DetailedCPU)
 		if err != nil {
 			return nil, err
 		}

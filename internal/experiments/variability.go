@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"math"
 
-	"destset/internal/sim"
-	"destset/internal/sweep"
+	"destset"
 )
 
 // The paper addresses the runtime variability of commercial workloads by
@@ -49,61 +49,43 @@ func MeanStddev(xs []float64) (mean, stddev float64) {
 // means and deviations. The perturbation regenerates the workload with a
 // different seed, which shifts unit layout, group membership and access
 // interleaving — the analogue of the paper's small timing perturbations.
-func Figure7Variability(opt Options, workloadName string, runs int) ([]VariabilityPoint, error) {
+// The perturbed seeds are just the TimingRunner's seed axis: the sweep is
+// one protocol × seed cross-product over the shared worker pool.
+func Figure7Variability(ctx context.Context, opt Options, workloadName string, runs int) ([]VariabilityPoint, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
 	if runs < 1 {
 		runs = 1
 	}
-	cfgs := timingConfigs(sim.SimpleCPU, 16)
-	order := make([]string, 0, len(cfgs))
-	for _, cfg := range cfgs {
-		order = append(order, cfg.Name())
-	}
-
-	// Perturbed runs are independent (each regenerates its own dataset
-	// from a shifted seed), so they fan out over the worker pool; the
-	// per-run results land in run-indexed slots for deterministic
-	// aggregation.
-	perRunRuntime := make([][]float64, runs)
-	perRunTraffic := make([][]float64, runs)
-	err := sweep.ForEach(context.Background(), runs, opt.Parallelism, func(r int) error {
-		o := opt
-		o.Seed = opt.Seed + uint64(r)
-		o.Workloads = []string{workloadName}
-		params, err := o.workloads()
-		if err != nil {
-			return err
-		}
-		d, err := NewDataset(params[0], opt.TimedWarmMisses, opt.TimedMisses)
-		if err != nil {
-			return err
-		}
-		perRunRuntime[r] = make([]float64, len(cfgs))
-		perRunTraffic[r] = make([]float64, len(cfgs))
-		warmTr, timedTr := d.Data.WarmTrace(), d.Data.MeasureTrace()
-		for i, cfg := range cfgs {
-			res, err := sim.Run(cfg, warmTr, timedTr)
-			if err != nil {
-				return err
-			}
-			perRunRuntime[r][i] = res.RuntimeNs
-			perRunTraffic[r][i] = res.BytesPerMiss()
-		}
-		return nil
-	})
+	specs, err := opt.timingSpecs(destset.SimpleCPU)
 	if err != nil {
 		return nil, err
 	}
+	seeds := make([]uint64, runs)
+	for r := range seeds {
+		seeds[r] = opt.Seed + uint64(r)
+	}
+	runner := destset.NewTimingRunner(specs,
+		[]destset.WorkloadSpec{opt.timingWorkloadSpec(workloadName)},
+		opt.timingRunnerOptions(seeds...)...)
+	res, err := runner.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(res) != len(specs)*runs {
+		return nil, fmt.Errorf("experiments: variability sweep returned %d cells, want %d", len(res), len(specs)*runs)
+	}
 
-	out := make([]VariabilityPoint, 0, len(order))
-	for i, name := range order {
+	// Results are spec-major, seed-minor: res[si*runs+r].
+	out := make([]VariabilityPoint, 0, len(specs))
+	for si := range specs {
 		runtimes := make([]float64, runs)
 		traffic := make([]float64, runs)
 		for r := 0; r < runs; r++ {
-			runtimes[r] = perRunRuntime[r][i]
-			traffic[r] = perRunTraffic[r][i]
+			cell := res[si*runs+r]
+			runtimes[r] = cell.Result.RuntimeNs
+			traffic[r] = cell.Result.BytesPerMiss()
 		}
 		mean, stddev := MeanStddev(runtimes)
 		bpm, _ := MeanStddev(traffic)
@@ -112,7 +94,7 @@ func Figure7Variability(opt Options, workloadName string, runs int) ([]Variabili
 			cv = stddev / mean
 		}
 		out = append(out, VariabilityPoint{
-			Config:        name,
+			Config:        res[si*runs].Config,
 			Runs:          runs,
 			MeanRuntimeNs: mean,
 			StddevNs:      stddev,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -28,7 +29,7 @@ func TestFigure7VariabilityAveragesStayOrdered(t *testing.T) {
 	opt := quick(t)
 	opt.TimedWarmMisses = 8000
 	opt.TimedMisses = 8000
-	pts, err := Figure7Variability(opt, "oltp", 3)
+	pts, err := Figure7Variability(context.Background(), opt, "oltp", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestFigure7VariabilitySingleRun(t *testing.T) {
 	opt := quick(t)
 	opt.TimedWarmMisses = 4000
 	opt.TimedMisses = 4000
-	pts, err := Figure7Variability(opt, "ocean", 0) // clamps to 1
+	pts, err := Figure7Variability(context.Background(), opt, "ocean", 0) // clamps to 1
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,12 @@
 //
 // Links are FIFO resources; contention queues messages and is the
 // mechanism that lets bandwidth-hungry protocols slow themselves down.
+//
+// The crossbar is allocation-free per message in steady state: ordering
+// and delivery events are scheduled through the event loop's typed-arg
+// API (no closures), per-destination delivery records come from an
+// internal free list, and senders that set OnRelease get each message
+// back once its last copy is delivered, so they can pool messages too.
 package interconnect
 
 import (
@@ -43,13 +49,26 @@ func DefaultConfig(nodes int) Config {
 	return Config{Nodes: nodes, BytesPerNs: 10, Traversal: 50 * event.Nanosecond}
 }
 
-// Message is a multicast message in flight.
+// Message is a multicast message in flight. Send takes ownership: the
+// crossbar references the message until every destination copy has been
+// delivered, then hands it to OnRelease (when set) for reuse.
 type Message struct {
 	From  nodeset.NodeID
 	To    nodeset.Set // destinations; may include From (self-delivery)
 	Bytes int
-	// Payload is opaque protocol state carried to the handlers.
+	// Payload is opaque protocol state carried to the handlers. Storing a
+	// pointer keeps Send allocation-free.
 	Payload interface{}
+
+	// pending counts undelivered copies after ordering.
+	pending int
+}
+
+// delivery is one destination copy of an ordered message, pooled in the
+// crossbar's free list so per-copy scheduling never allocates.
+type delivery struct {
+	msg *Message
+	dst nodeset.NodeID
 }
 
 // link is a FIFO serialization resource.
@@ -85,6 +104,17 @@ type Crossbar struct {
 	OnOrdered func(now event.Time, seq uint64, msg *Message)
 	// OnDeliver is invoked when a message copy reaches one destination.
 	OnDeliver func(now event.Time, dst nodeset.NodeID, msg *Message)
+	// OnRelease, if set, is invoked once the last copy of a message has
+	// been delivered (or immediately for a message with no destinations).
+	// Senders use it to recycle messages; after it fires the crossbar
+	// holds no reference to the message.
+	OnRelease func(msg *Message)
+
+	// orderedEvt and deliverEvt are the long-lived event handlers bound
+	// at construction; scheduling them allocates nothing.
+	orderedEvt event.ArgHandler
+	deliverEvt event.ArgHandler
+	delFree    []*delivery
 
 	// statistics
 	totalBytes    uint64
@@ -99,12 +129,15 @@ func New(cfg Config, loop *event.Loop) *Crossbar {
 	if cfg.BytesPerNs <= 0 {
 		panic("interconnect: bandwidth must be positive")
 	}
-	return &Crossbar{
+	x := &Crossbar{
 		cfg:     cfg,
 		loop:    loop,
 		egress:  make([]link, cfg.Nodes),
 		ingress: make([]link, cfg.Nodes),
 	}
+	x.orderedEvt = func(now event.Time, arg any) { x.ordered(now, arg.(*Message)) }
+	x.deliverEvt = func(now event.Time, arg any) { x.deliver(now, arg.(*delivery)) }
+	return x
 }
 
 // Send injects a message. The sender's egress link serializes it once
@@ -112,27 +145,64 @@ func New(cfg Config, loop *event.Loop) *Crossbar {
 // serializes its own copy, charging end-point bandwidth per destination.
 func (x *Crossbar) Send(msg *Message) {
 	if msg.To.Empty() {
+		x.release(msg)
 		return
 	}
 	half := x.cfg.Traversal / 2
 	atSwitch := x.egress[msg.From].acquire(x.loop.Now(), msg.Bytes, x.cfg.BytesPerNs) + half
-	x.loop.At(atSwitch, func(now event.Time) {
-		x.seq++
-		seq := x.seq
-		x.totalMessages++
-		x.totalBytes += uint64(msg.Bytes) * uint64(msg.To.Count())
-		if x.OnOrdered != nil {
-			x.OnOrdered(now, seq, msg)
-		}
-		msg.To.ForEach(func(dst nodeset.NodeID) {
-			done := x.ingress[dst].acquire(now, msg.Bytes, x.cfg.BytesPerNs) + half
-			x.loop.At(done, func(now event.Time) {
-				if x.OnDeliver != nil {
-					x.OnDeliver(now, dst, msg)
-				}
-			})
-		})
-	})
+	x.loop.AtArg(atSwitch, x.orderedEvt, msg)
+}
+
+// ordered is the total-order point: the message takes its global sequence
+// number and one delivery is scheduled per destination copy.
+func (x *Crossbar) ordered(now event.Time, msg *Message) {
+	x.seq++
+	seq := x.seq
+	x.totalMessages++
+	x.totalBytes += uint64(msg.Bytes) * uint64(msg.To.Count())
+	if x.OnOrdered != nil {
+		x.OnOrdered(now, seq, msg)
+	}
+	half := x.cfg.Traversal / 2
+	msg.pending = msg.To.Count()
+	for rest := msg.To; !rest.Empty(); {
+		dst := rest.First()
+		rest = rest.Remove(dst)
+		d := x.getDelivery()
+		d.msg, d.dst = msg, dst
+		done := x.ingress[dst].acquire(now, msg.Bytes, x.cfg.BytesPerNs) + half
+		x.loop.AtArg(done, x.deliverEvt, d)
+	}
+}
+
+// deliver hands one copy to the protocol and releases the message after
+// its last copy.
+func (x *Crossbar) deliver(now event.Time, d *delivery) {
+	msg, dst := d.msg, d.dst
+	d.msg = nil
+	x.delFree = append(x.delFree, d)
+	if x.OnDeliver != nil {
+		x.OnDeliver(now, dst, msg)
+	}
+	msg.pending--
+	if msg.pending == 0 {
+		x.release(msg)
+	}
+}
+
+func (x *Crossbar) getDelivery() *delivery {
+	if n := len(x.delFree); n > 0 {
+		d := x.delFree[n-1]
+		x.delFree = x.delFree[:n-1]
+		return d
+	}
+	return &delivery{}
+}
+
+func (x *Crossbar) release(msg *Message) {
+	if x.OnRelease != nil {
+		x.OnRelease(msg)
+	}
 }
 
 // Stats returns total messages ordered and total end-point bytes

@@ -26,9 +26,18 @@
 // blocking core (4 GIPS when perfect) and a detailed core that issues up
 // to MSHRs outstanding misses within a reorder-buffer window, overlapping
 // the spatial miss bursts commercial workloads produce.
+//
+// The simulator replays Sources — random-access cursors over a recorded
+// trace region (source.go) — and its per-miss path is allocation-free in
+// steady state: transactions live in a slab sized to the timed region,
+// protocol messages and their payloads are pooled and recycled when the
+// crossbar releases them, every event handler is bound once at
+// construction, and the per-node in-flight block filter is a fixed
+// MSHR-sized array instead of a map.
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"destset/internal/coherence"
@@ -93,6 +102,16 @@ type Config struct {
 	Predictor predictor.Config // used when Protocol == Multicast
 	CPU       CPUModel
 
+	// NewBank, when non-nil, overrides predictor-bank construction for
+	// multicast runs: it must return one fresh, untrained predictor per
+	// node. Registered custom policies reach the timing model this way;
+	// the Predictor field still sizes the bank's node count for naming.
+	NewBank func() []predictor.Predictor
+
+	// Label, when non-empty, overrides Name() in reports — used when
+	// NewBank carries a policy the Predictor config cannot describe.
+	Label string
+
 	Nodes        int
 	Interconnect interconnect.Config
 	Coherence    coherence.Config
@@ -143,6 +162,9 @@ func DefaultConfig(p Protocol) Config {
 
 // Name labels the configuration in reports.
 func (c Config) Name() string {
+	if c.Label != "" {
+		return c.Label
+	}
 	switch c.Protocol {
 	case Multicast:
 		return "Multicast+" + c.Predictor.Name()
@@ -206,16 +228,24 @@ const (
 	msgWriteback
 )
 
-type payload struct {
+// simMsg is a pooled protocol message: the interconnect message plus the
+// payload fields the handlers need. Payload points back at the simMsg
+// itself (a pointer, so storing it allocates nothing); the crossbar's
+// OnRelease returns the whole thing to the free list after the last copy
+// delivers.
+type simMsg struct {
+	msg     interconnect.Message
 	kind    msgKind
 	t       *txn
 	attempt int
 }
 
-// txn is one in-flight miss transaction.
+// txn is one in-flight miss transaction. Transactions live in a slab
+// with one slot per timed record, so issuing a miss never allocates and
+// a stale event can never observe a recycled transaction.
 type txn struct {
 	node      *node
-	idx       int
+	sidx      int32 // position in the node's program-order stream
 	rec       trace.Record
 	issuedAt  event.Time
 	attempts  int
@@ -226,21 +256,47 @@ type txn struct {
 	// Current-attempt outcome, set at the ordering point.
 	sufficient bool
 	mi         coherence.MissInfo
+
+	// dataFrom is the responder of a scheduled data send (dataEvt).
+	dataFrom nodeset.NodeID
 }
 
 // node is one processor's stream state.
 type node struct {
-	id   nodeset.NodeID
-	recs []trace.Record
-	pos  []uint64 // cumulative instructions before each miss issues
+	id  nodeset.NodeID
+	idx []int32  // global record index of each stream position
+	pos []uint64 // cumulative instructions before each miss issues
 
 	next         int
 	oldest       int
 	doneMask     []bool
 	inflight     int
-	inflightBlks map[trace.Addr]bool
+	blks         []trace.Addr // addresses of in-flight misses (<= MSHRs)
 	lastIssue    event.Time
 	issuePending bool
+}
+
+// blkInflight reports whether an in-flight miss covers addr.
+func (n *node) blkInflight(a trace.Addr) bool {
+	for _, b := range n.blks {
+		if b == a {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *node) blkAdd(a trace.Addr) { n.blks = append(n.blks, a) }
+
+func (n *node) blkRemove(a trace.Addr) {
+	for i, b := range n.blks {
+		if b == a {
+			last := len(n.blks) - 1
+			n.blks[i] = n.blks[last]
+			n.blks = n.blks[:last]
+			return
+		}
+	}
 }
 
 // sim is one simulation run.
@@ -251,6 +307,17 @@ type sim struct {
 	coh   *coherence.System
 	preds []predictor.Predictor
 	nodes []*node
+	txns  []txn
+
+	// Long-lived event handlers, bound once so scheduling never
+	// allocates a closure.
+	issueEvt    event.ArgHandler
+	reissueEvt  event.ArgHandler
+	dirActEvt   event.ArgHandler
+	completeEvt event.ArgHandler
+	dataEvt     event.ArgHandler
+
+	msgFree []*simMsg
 
 	completed      uint64
 	total          uint64
@@ -265,22 +332,44 @@ type sim struct {
 // latencyBucketNs is the latency histogram resolution.
 const latencyBucketNs = 5
 
+// ctxCheckStride bounds how many events (or warmup misses) are processed
+// between cancellation checks, so cancellation is prompt on huge runs.
+const ctxCheckStride = 4096
+
 // Run simulates the timed trace after warming caches and predictors with
 // the warm trace (instantaneously, as the paper does with trace-based
-// warmup, §5.2). warm may be nil.
+// warmup, §5.2). warm may be nil. It is the materialized-trace wrapper
+// over Simulate.
 func Run(cfg Config, warm, timed *trace.Trace) (Result, error) {
+	return Simulate(context.Background(), cfg, TraceSource(warm), TraceSource(timed))
+}
+
+// Simulate replays the timed source after warming caches and predictors
+// with the warm source (which may be nil). The sources are read-only and
+// may be shared across concurrent runs. On cancellation Simulate returns
+// promptly with the context's error.
+func Simulate(ctx context.Context, cfg Config, warm, timed Source) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := validate(cfg, timed); err != nil {
 		return Result{}, err
 	}
 	s := newSim(cfg)
 	if warm != nil {
-		s.warmUp(warm)
+		if err := s.warmUp(ctx, warm); err != nil {
+			return Result{}, err
+		}
 	}
 	s.loadStreams(timed)
 	for _, n := range s.nodes {
 		s.tryIssue(n)
 	}
-	s.loop.Run()
+	for i := 0; s.loop.Step(); i++ {
+		if i%ctxCheckStride == 0 && ctx.Err() != nil {
+			return Result{}, ctx.Err()
+		}
+	}
 	if s.completed != s.total {
 		return Result{}, fmt.Errorf("sim: deadlock: %d/%d misses completed", s.completed, s.total)
 	}
@@ -301,12 +390,12 @@ func Run(cfg Config, warm, timed *trace.Trace) (Result, error) {
 	return res, nil
 }
 
-func validate(cfg Config, timed *trace.Trace) error {
+func validate(cfg Config, timed Source) error {
 	switch {
 	case timed == nil || timed.Len() == 0:
 		return fmt.Errorf("sim: empty trace")
-	case timed.Nodes != cfg.Nodes:
-		return fmt.Errorf("sim: trace has %d nodes, config %d", timed.Nodes, cfg.Nodes)
+	case timed.Nodes() != cfg.Nodes:
+		return fmt.Errorf("sim: trace has %d nodes, config %d", timed.Nodes(), cfg.Nodes)
 	case cfg.Nodes <= 0 || cfg.Nodes > nodeset.MaxNodes:
 		return fmt.Errorf("sim: bad node count %d", cfg.Nodes)
 	case cfg.SimpleInstrPerNs <= 0 || cfg.DetailedInstrPerNs <= 0:
@@ -335,61 +424,117 @@ func newSim(cfg Config) *sim {
 		latencies: stats.NewHistogram(4000 / latencyBucketNs),
 	}
 	if cfg.Protocol == Multicast {
-		pc := cfg.Predictor
-		pc.Nodes = cfg.Nodes
-		s.preds = predictor.NewBank(pc)
+		if cfg.NewBank != nil {
+			s.preds = cfg.NewBank()
+		} else {
+			pc := cfg.Predictor
+			pc.Nodes = cfg.Nodes
+			s.preds = predictor.NewBank(pc)
+		}
+	}
+	s.issueEvt = func(now event.Time, arg any) {
+		n := arg.(*node)
+		n.issuePending = false
+		s.issue(n, now)
+		s.tryIssue(n)
+	}
+	s.reissueEvt = func(_ event.Time, arg any) { s.reissue(arg.(*txn)) }
+	s.dirActEvt = func(_ event.Time, arg any) { s.directoryAct(arg.(*txn)) }
+	s.completeEvt = func(now event.Time, arg any) { s.complete(arg.(*txn), now) }
+	s.dataEvt = func(_ event.Time, arg any) {
+		t := arg.(*txn)
+		s.sendData(t.dataFrom, t)
 	}
 	s.coh.OnWriteback = func(from nodeset.NodeID, a trace.Addr) {
 		home := s.coh.Home(a)
 		if home == from {
 			return // local writeback never crosses the interconnect
 		}
-		s.xbar.Send(&interconnect.Message{
-			From:    from,
-			To:      nodeset.Of(home),
-			Bytes:   protocol.DataBytes,
-			Payload: payload{kind: msgWriteback},
-		})
+		s.send(msgWriteback, nil, 0, from, nodeset.Of(home), protocol.DataBytes)
 	}
 	s.xbar.OnOrdered = s.onOrdered
 	s.xbar.OnDeliver = s.onDeliver
+	s.xbar.OnRelease = s.releaseMsg
 	return s
 }
 
-// warmUp replays the warm trace through the coherence state and (for
+// getMsg pops a pooled message or grows the pool.
+func (s *sim) getMsg() *simMsg {
+	if n := len(s.msgFree); n > 0 {
+		sm := s.msgFree[n-1]
+		s.msgFree = s.msgFree[:n-1]
+		return sm
+	}
+	return &simMsg{}
+}
+
+// releaseMsg recycles a message once the crossbar delivered every copy.
+func (s *sim) releaseMsg(msg *interconnect.Message) {
+	sm := msg.Payload.(*simMsg)
+	sm.t = nil
+	s.msgFree = append(s.msgFree, sm)
+}
+
+// send injects a pooled protocol message into the crossbar.
+func (s *sim) send(kind msgKind, t *txn, attempt int, from nodeset.NodeID, to nodeset.Set, bytes int) {
+	sm := s.getMsg()
+	sm.kind, sm.t, sm.attempt = kind, t, attempt
+	sm.msg = interconnect.Message{From: from, To: to, Bytes: bytes, Payload: sm}
+	s.xbar.Send(&sm.msg)
+}
+
+// warmUp replays the warm source through the coherence state and (for
 // multicast) the predictors using the trace-driven engine semantics.
-func (s *sim) warmUp(warm *trace.Trace) {
+func (s *sim) warmUp(ctx context.Context, warm Source) error {
 	var eng protocol.Engine
 	if s.preds != nil {
 		eng = protocol.NewMulticast(s.preds)
 	}
-	for _, rec := range warm.Records {
+	for i, n := 0, warm.Len(); i < n; i++ {
+		if i%ctxCheckStride == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		rec := warm.Record(i)
 		mi := s.coh.Apply(rec)
 		if eng != nil {
 			eng.Process(rec, mi)
 		}
 	}
+	return nil
 }
 
-// loadStreams splits the global trace into per-node program-order streams.
-func (s *sim) loadStreams(t *trace.Trace) {
+// loadStreams splits the timed source into per-node program-order
+// streams: index lists into the shared source plus a transaction slab
+// with one preloaded slot per record. The source is walked exactly once,
+// cursor-style; the hot loop afterwards reads records from the slab.
+func (s *sim) loadStreams(src Source) {
 	s.nodes = make([]*node, s.cfg.Nodes)
 	for i := range s.nodes {
-		s.nodes[i] = &node{id: nodeset.NodeID(i), inflightBlks: make(map[trace.Addr]bool)}
+		s.nodes[i] = &node{
+			id:   nodeset.NodeID(i),
+			blks: make([]trace.Addr, 0, s.cfg.MSHRs),
+		}
 	}
-	for _, rec := range t.Records {
+	total := src.Len()
+	s.txns = make([]txn, total)
+	for i := 0; i < total; i++ {
+		rec := src.Record(i)
 		n := s.nodes[rec.Requester]
-		n.recs = append(n.recs, rec)
+		t := &s.txns[i]
+		t.node = n
+		t.sidx = int32(len(n.idx))
+		t.rec = rec
+		n.idx = append(n.idx, int32(i))
 	}
 	for _, n := range s.nodes {
-		n.pos = make([]uint64, len(n.recs))
+		n.pos = make([]uint64, len(n.idx))
 		var cum uint64
-		for i, rec := range n.recs {
-			cum += uint64(rec.Gap)
+		for i, gi := range n.idx {
+			cum += uint64(s.txns[gi].rec.Gap)
 			n.pos[i] = cum
 		}
-		n.doneMask = make([]bool, len(n.recs))
-		s.total += uint64(len(n.recs))
+		n.doneMask = make([]bool, len(n.idx))
+		s.total += uint64(len(n.idx))
 	}
 }
 
@@ -400,10 +545,10 @@ func gapTime(gap uint32, instrPerNs float64) event.Time {
 
 // tryIssue schedules the node's next miss if the processor model allows.
 func (s *sim) tryIssue(n *node) {
-	if n.issuePending || n.next >= len(n.recs) {
+	if n.issuePending || n.next >= len(n.idx) {
 		return
 	}
-	rec := n.recs[n.next]
+	t := &s.txns[n.idx[n.next]]
 	var at event.Time
 	switch s.cfg.CPU {
 	case SimpleCPU:
@@ -412,12 +557,12 @@ func (s *sim) tryIssue(n *node) {
 		if n.inflight > 0 {
 			return
 		}
-		at = s.loop.Now() + gapTime(rec.Gap, s.cfg.SimpleInstrPerNs)
+		at = s.loop.Now() + gapTime(t.rec.Gap, s.cfg.SimpleInstrPerNs)
 	case DetailedCPU:
 		if n.inflight >= s.cfg.MSHRs {
 			return
 		}
-		if n.inflightBlks[rec.Addr] {
+		if n.blkInflight(t.rec.Addr) {
 			return // same-block request must wait (MSHR merge)
 		}
 		// The reorder buffer bounds how far the front end runs ahead of
@@ -425,31 +570,26 @@ func (s *sim) tryIssue(n *node) {
 		if n.inflight > 0 && n.pos[n.next]-n.pos[n.oldest] >= uint64(s.cfg.ROBWindow) {
 			return
 		}
-		at = n.lastIssue + gapTime(rec.Gap, s.cfg.DetailedInstrPerNs)
+		at = n.lastIssue + gapTime(t.rec.Gap, s.cfg.DetailedInstrPerNs)
 		if now := s.loop.Now(); at < now {
 			at = now
 		}
 	}
 	n.issuePending = true
-	s.loop.At(at, func(now event.Time) {
-		n.issuePending = false
-		s.issue(n, now)
-		s.tryIssue(n)
-	})
+	s.loop.AtArg(at, s.issueEvt, n)
 }
 
 // issue sends the node's next miss into the memory system.
 func (s *sim) issue(n *node, now event.Time) {
-	idx := n.next
+	t := &s.txns[n.idx[n.next]]
 	n.next++
 	n.inflight++
 	if n.inflight > s.maxOutstanding {
 		s.maxOutstanding = n.inflight
 	}
 	n.lastIssue = now
-	rec := n.recs[idx]
-	n.inflightBlks[rec.Addr] = true
-	t := &txn{node: n, idx: idx, rec: rec, issuedAt: now}
+	n.blkAdd(t.rec.Addr)
+	t.issuedAt = now
 	t.mask = s.initialMask(t)
 	s.sendAttempt(t)
 }
@@ -491,23 +631,18 @@ func (s *sim) sendAttempt(t *txn) {
 	if to.Empty() {
 		to = nodeset.Of(req) // ordering echo only
 	}
-	s.xbar.Send(&interconnect.Message{
-		From:    req,
-		To:      to,
-		Bytes:   protocol.ControlBytes,
-		Payload: payload{kind: msgRequest, t: t, attempt: t.attempts},
-	})
+	s.send(msgRequest, t, t.attempts, req, to, protocol.ControlBytes)
 }
 
 // onOrdered is the total-order point: sufficiency is decided and state
 // transitions commit here.
 func (s *sim) onOrdered(now event.Time, seq uint64, msg *interconnect.Message) {
-	p, ok := msg.Payload.(payload)
-	if !ok || (p.kind != msgRequest && p.kind != msgReissue) {
+	sm := msg.Payload.(*simMsg)
+	if sm.kind != msgRequest && sm.kind != msgReissue {
 		return
 	}
-	t := p.t
-	if p.attempt != t.attempts || t.completed {
+	t := sm.t
+	if sm.attempt != t.attempts || t.completed {
 		return // stale attempt already superseded
 	}
 	req := nodeset.NodeID(t.rec.Requester)
@@ -526,7 +661,7 @@ func (s *sim) onOrdered(now event.Time, seq uint64, msg *interconnect.Message) {
 		// The home node reissues when its copy arrives; when the
 		// requester is its own home, the directory access is local.
 		if mi.Home == req {
-			s.loop.At(now+half+s.cfg.MemLatency, func(event.Time) { s.reissue(t) })
+			s.loop.AtArg(now+half+s.cfg.MemLatency, s.reissueEvt, t)
 		}
 		return
 	}
@@ -538,7 +673,7 @@ func (s *sim) onOrdered(now event.Time, seq uint64, msg *interconnect.Message) {
 		// When the requester is its own home, the directory access
 		// happens locally instead of via a delivered request copy.
 		if t.mi.Home == req {
-			s.loop.At(now+half+s.cfg.MemLatency, func(event.Time) { s.directoryAct(t) })
+			s.loop.AtArg(now+half+s.cfg.MemLatency, s.dirActEvt, t)
 		}
 		return
 	}
@@ -550,34 +685,30 @@ func (s *sim) onOrdered(now event.Time, seq uint64, msg *interconnect.Message) {
 	case none:
 		// Dataless upgrade: the requester learns the outcome when its own
 		// request would reach it on the ordered network.
-		s.loop.At(now+half, func(done event.Time) { s.complete(t, done) })
+		s.loop.AtArg(now+half, s.completeEvt, t)
 	case fromMem && t.mi.Home == req:
 		// The requester is home: a local memory access supplies the data.
-		s.loop.At(now+half+s.cfg.MemLatency, func(done event.Time) { s.complete(t, done) })
+		s.loop.AtArg(now+half+s.cfg.MemLatency, s.completeEvt, t)
 	}
 }
 
 // onDeliver handles message arrival at one destination.
 func (s *sim) onDeliver(now event.Time, dst nodeset.NodeID, msg *interconnect.Message) {
-	p, ok := msg.Payload.(payload)
-	if !ok {
-		return
-	}
-	switch p.kind {
+	sm := msg.Payload.(*simMsg)
+	switch sm.kind {
 	case msgRequest, msgReissue:
-		s.deliverRequest(now, dst, p)
+		s.deliverRequest(now, dst, sm)
 	case msgForward:
 		// Directory forward reached the owner: respond with data.
-		t := p.t
-		s.loop.After(s.cfg.L2Latency, func(event.Time) {
-			s.sendData(dst, t)
-		})
+		t := sm.t
+		t.dataFrom = dst
+		s.loop.AfterArg(s.cfg.L2Latency, s.dataEvt, t)
 	case msgInval:
 		// Sharer invalidation: state already committed at ordering; the
 		// message only costs bandwidth on the totally-ordered network.
 	case msgData, msgDone:
-		t := p.t
-		if s.preds != nil && p.kind == msgData {
+		t := sm.t
+		if s.preds != nil && sm.kind == msgData {
 			responder, fromMem, none := t.mi.Responder(nodeset.NodeID(t.rec.Requester))
 			if !none {
 				s.preds[dst].TrainResponse(predictor.Response{
@@ -595,8 +726,8 @@ func (s *sim) onDeliver(now event.Time, dst nodeset.NodeID, msg *interconnect.Me
 }
 
 // deliverRequest handles a request or reissue copy arriving at dst.
-func (s *sim) deliverRequest(now event.Time, dst nodeset.NodeID, p payload) {
-	t := p.t
+func (s *sim) deliverRequest(now event.Time, dst nodeset.NodeID, sm *simMsg) {
+	t := sm.t
 	req := nodeset.NodeID(t.rec.Requester)
 	if dst == req {
 		return // the requester's own copy is just the ordering echo
@@ -609,7 +740,7 @@ func (s *sim) deliverRequest(now event.Time, dst nodeset.NodeID, p payload) {
 			Kind:      t.rec.Kind,
 		})
 	}
-	if p.attempt != t.attempts || t.completed {
+	if sm.attempt != t.attempts || t.completed {
 		return // superseded attempt
 	}
 	home := s.coh.Home(t.rec.Addr)
@@ -617,14 +748,14 @@ func (s *sim) deliverRequest(now event.Time, dst nodeset.NodeID, p payload) {
 		// Only the home reacts to an insufficient attempt: after its
 		// directory access it reissues with the improved set (§4.1).
 		if dst == home && s.cfg.Protocol == Multicast {
-			s.loop.After(s.cfg.MemLatency, func(event.Time) { s.reissue(t) })
+			s.loop.AfterArg(s.cfg.MemLatency, s.reissueEvt, t)
 		}
 		return
 	}
 	switch s.cfg.Protocol {
 	case Directory:
 		if dst == home {
-			s.loop.After(s.cfg.MemLatency, func(event.Time) { s.directoryAct(t) })
+			s.loop.AfterArg(s.cfg.MemLatency, s.dirActEvt, t)
 		}
 	default:
 		responder, fromMem, none := t.mi.Responder(req)
@@ -632,9 +763,11 @@ func (s *sim) deliverRequest(now event.Time, dst nodeset.NodeID, p payload) {
 			return // completion already scheduled at ordering
 		}
 		if fromMem && dst == home {
-			s.loop.After(s.cfg.MemLatency, func(event.Time) { s.sendData(home, t) })
+			t.dataFrom = home
+			s.loop.AfterArg(s.cfg.MemLatency, s.dataEvt, t)
 		} else if !fromMem && dst == responder {
-			s.loop.After(s.cfg.L2Latency, func(event.Time) { s.sendData(responder, t) })
+			t.dataFrom = responder
+			s.loop.AfterArg(s.cfg.L2Latency, s.dataEvt, t)
 		}
 	}
 }
@@ -653,33 +786,18 @@ func (s *sim) directoryAct(t *txn) {
 	case none && home == req:
 		s.complete(t, s.loop.Now())
 	case none:
-		s.xbar.Send(&interconnect.Message{
-			From:    home,
-			To:      nodeset.Of(req),
-			Bytes:   protocol.ControlBytes,
-			Payload: payload{kind: msgDone, t: t, attempt: t.attempts},
-		})
+		s.send(msgDone, t, t.attempts, home, nodeset.Of(req), protocol.ControlBytes)
 	case fromMem && home == req:
 		s.complete(t, s.loop.Now())
 	case fromMem:
 		s.sendData(home, t)
 	default:
-		s.xbar.Send(&interconnect.Message{
-			From:    home,
-			To:      nodeset.Of(responder),
-			Bytes:   protocol.ControlBytes,
-			Payload: payload{kind: msgForward, t: t, attempt: t.attempts},
-		})
+		s.send(msgForward, t, t.attempts, home, nodeset.Of(responder), protocol.ControlBytes)
 	}
 	if t.rec.Kind == trace.GetExclusive {
 		invals := t.mi.Sharers.Remove(req).Remove(t.mi.Owner).Remove(home)
 		if !invals.Empty() {
-			s.xbar.Send(&interconnect.Message{
-				From:    home,
-				To:      invals,
-				Bytes:   protocol.ControlBytes,
-				Payload: payload{kind: msgInval, t: t, attempt: t.attempts},
-			})
+			s.send(msgInval, t, t.attempts, home, invals, protocol.ControlBytes)
 		}
 	}
 }
@@ -719,15 +837,10 @@ func (s *sim) reissue(t *txn) {
 		// satisfy it locally.
 		t.sufficient = true
 		t.mi = s.coh.Apply(t.rec)
-		s.loop.After(s.cfg.MemLatency, func(done event.Time) { s.complete(t, done) })
+		s.loop.AfterArg(s.cfg.MemLatency, s.completeEvt, t)
 		return
 	}
-	s.xbar.Send(&interconnect.Message{
-		From:    home,
-		To:      to,
-		Bytes:   protocol.ControlBytes,
-		Payload: payload{kind: msgReissue, t: t, attempt: t.attempts},
-	})
+	s.send(msgReissue, t, t.attempts, home, to, protocol.ControlBytes)
 }
 
 // sendData sends the 72-byte data response to the requester.
@@ -735,12 +848,7 @@ func (s *sim) sendData(from nodeset.NodeID, t *txn) {
 	if t.completed {
 		return
 	}
-	s.xbar.Send(&interconnect.Message{
-		From:    from,
-		To:      nodeset.Of(nodeset.NodeID(t.rec.Requester)),
-		Bytes:   protocol.DataBytes,
-		Payload: payload{kind: msgData, t: t, attempt: t.attempts},
-	})
+	s.send(msgData, t, t.attempts, from, nodeset.Of(nodeset.NodeID(t.rec.Requester)), protocol.DataBytes)
 }
 
 // complete retires a transaction and unblocks the node's stream.
@@ -751,8 +859,8 @@ func (s *sim) complete(t *txn, now event.Time) {
 	t.completed = true
 	n := t.node
 	n.inflight--
-	delete(n.inflightBlks, t.rec.Addr)
-	n.doneMask[t.idx] = true
+	n.blkRemove(t.rec.Addr)
+	n.doneMask[t.sidx] = true
 	for n.oldest < len(n.doneMask) && n.doneMask[n.oldest] {
 		n.oldest++
 	}

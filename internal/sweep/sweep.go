@@ -154,30 +154,11 @@ func Run(ctx context.Context, engines []Engine, workloads []Workload, cfg Config
 	// (workload, seed) before any cell runs. Without it, the first cells
 	// of each workload would race to open the same source and all but
 	// one worker would idle behind the winner's generation.
-	type prepJob struct {
-		w    int
-		seed uint64
-	}
-	var preps []prepJob
-	for w := range workloads {
-		if workloads[w].Prepare == nil {
-			continue
-		}
-		for _, s := range seeds {
-			preps = append(preps, prepJob{w: w, seed: s})
-		}
-	}
-	if len(preps) > 0 {
-		err := ForEach(ctx, len(preps), cfg.parallelism(), func(i int) error {
-			p := preps[i]
-			if err := workloads[p.w].Prepare(p.seed); err != nil {
-				return fmt.Errorf("sweep: workload %q: %w", workloads[p.w].Name, err)
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
+	err := Prewarm(ctx, cfg.parallelism(), len(workloads), seeds,
+		func(w int) func(uint64) error { return workloads[w].Prepare },
+		func(w int) string { return workloads[w].Name })
+	if err != nil {
+		return nil, err
 	}
 
 	observe := cfg.Observe
@@ -191,48 +172,84 @@ func Run(ctx context.Context, engines []Engine, workloads []Workload, cfg Config
 		}
 	}
 
+	return Collect(ctx, len(cells), cfg.parallelism(), func(ctx context.Context, i int) (*Result, error) {
+		return runCell(ctx, cells[i], cfg.Interval, observe)
+	})
+}
+
+// Prewarm materializes every (workload, seed) shared stream source
+// across the worker pool before a sweep's cells run: for each workload
+// index w in [0, workloads) whose prepare(w) hook is non-nil, it calls
+// the hook once per seed. Both the trace-driven Run above and the
+// facade's timing runner front their cells with it, so expensive
+// one-time generation fans out instead of serializing the first cells
+// that race to open the same source.
+func Prewarm(ctx context.Context, parallelism, workloads int, seeds []uint64, prepare func(w int) func(seed uint64) error, name func(w int) string) error {
+	type job struct {
+		w    int
+		seed uint64
+	}
+	var jobs []job
+	for w := 0; w < workloads; w++ {
+		if prepare(w) == nil {
+			continue
+		}
+		for _, s := range seeds {
+			jobs = append(jobs, job{w: w, seed: s})
+		}
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	return ForEach(ctx, len(jobs), parallelism, func(i int) error {
+		j := jobs[i]
+		if err := prepare(j.w)(j.seed); err != nil {
+			return fmt.Errorf("sweep: workload %q: %w", name(j.w), err)
+		}
+		return nil
+	})
+}
+
+// Collect runs fn for every cell index in [0, n) across a worker pool
+// of the given size (<=0 means GOMAXPROCS), writes each result into a
+// slot indexed by the cell, and returns the completed results compacted
+// in index order. It is the deterministic-ordering engine behind every
+// runner: the trace-driven sweep above and the facade's timing runner
+// both feed their cells through it.
+//
+// fn receives a derived context that Collect cancels on the first cell
+// error, so long-running in-flight cells that honor it abort promptly —
+// fail-fast, not just stop-feeding. fn may also return a nil result to
+// skip its slot (an abandoned cell). On cancellation — from the
+// caller's ctx or a failing cell — Collect still returns every
+// completed cell, in order, together with the first real error (or the
+// context's).
+func Collect[T any](ctx context.Context, n, parallelism int, fn func(ctx context.Context, i int) (*T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	slots := make([]*Result, len(cells))
+	slots := make([]*T, n)
 	var (
 		firstErr error
 		errOnce  sync.Once
 	)
-	fail := func(err error) {
-		errOnce.Do(func() { firstErr = err })
-		cancel()
-	}
-
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.parallelism(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				res, err := runCell(ctx, cells[idx], cfg.Interval, observe)
-				if err != nil {
-					if ctx.Err() == nil {
-						fail(err)
-					}
-					continue
-				}
-				slots[idx] = res
+	_ = ForEach(ctx, n, parallelism, func(i int) error {
+		res, err := fn(ctx, i)
+		if err != nil {
+			// A cell failing only because the sweep is already cancelled
+			// is a victim, not the cause; keep the first real error.
+			if ctx.Err() == nil {
+				errOnce.Do(func() { firstErr = err })
 			}
-		}()
-	}
-feed:
-	for i := range cells {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			break feed
+			cancel()
+			return nil
 		}
-	}
-	close(jobs)
-	wg.Wait()
-
-	out := make([]Result, 0, len(slots))
+		slots[i] = res
+		return nil
+	})
+	out := make([]T, 0, len(slots))
 	for _, r := range slots {
 		if r != nil {
 			out = append(out, *r)

@@ -239,3 +239,57 @@ func TestReplayStreamMatchesGenerator(t *testing.T) {
 		t.Fatalf("measured %d misses", res[0].Totals.Misses)
 	}
 }
+
+func TestCollectFailFastCancelsInflightCells(t *testing.T) {
+	// One cell fails immediately; the other, long-running cell must see
+	// the derived context cancel and abort instead of running out its
+	// full (effectively unbounded) loop.
+	aborted := make(chan struct{})
+	res, err := Collect(context.Background(), 2, 2, func(ctx context.Context, i int) (*int, error) {
+		if i == 0 {
+			return nil, errors.New("boom")
+		}
+		select {
+		case <-ctx.Done():
+			close(aborted)
+			return nil, ctx.Err()
+		case <-time.After(10 * time.Second):
+			t.Error("in-flight cell was not cancelled after the sibling's error")
+			return nil, nil
+		}
+	})
+	select {
+	case <-aborted:
+	default:
+		// i==1 may not have started before the error cancelled the feed;
+		// either way Collect must report the real error.
+	}
+	if err == nil || !contains(err.Error(), "boom") {
+		t.Errorf("err = %v, want the failing cell's error", err)
+	}
+	if len(res) != 0 {
+		t.Errorf("results = %v, want none", res)
+	}
+}
+
+func TestCollectOrderAndSkippedSlots(t *testing.T) {
+	res, err := Collect(context.Background(), 5, 3, func(_ context.Context, i int) (*int, error) {
+		if i == 2 {
+			return nil, nil // abandoned slot
+		}
+		v := i * 10
+		return &v, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 10, 30, 40}
+	if len(res) != len(want) {
+		t.Fatalf("res = %v, want %v", res, want)
+	}
+	for i := range want {
+		if res[i] != want[i] {
+			t.Errorf("res[%d] = %d, want %d (compaction must keep index order)", i, res[i], want[i])
+		}
+	}
+}

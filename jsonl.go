@@ -29,11 +29,21 @@ func NewJSONLObserver(w io.Writer) *JSONLObserver {
 }
 
 // Observe writes one observation line. It is an Observer.
-func (o *JSONLObserver) Observe(obs Observation) {
+func (o *JSONLObserver) Observe(obs Observation) { o.write(obs) }
+
+// ObserveTiming writes one timing observation line. It is a
+// TimingObserver, so the same sink serves trace-driven Runner sweeps and
+// TimingRunner sweeps alike (one file should hold one kind of
+// observation; mixing them is possible but the readers below decode a
+// homogeneous stream).
+func (o *JSONLObserver) ObserveTiming(obs TimingObservation) { o.write(obs) }
+
+// write marshals any observation value as one JSON line.
+func (o *JSONLObserver) write(v any) {
 	if o.err != nil {
 		return
 	}
-	raw, err := json.Marshal(obs)
+	raw, err := json.Marshal(v)
 	if err != nil {
 		o.err = fmt.Errorf("destset: encoding observation: %w", err)
 		return
@@ -77,9 +87,21 @@ func (o *JSONLObserver) Close() error {
 // by JSONLObserver, back into observations. Blank lines are skipped; a
 // malformed line fails with its 1-based line number.
 func ReadObservations(r io.Reader) ([]Observation, error) {
+	return readJSONL[Observation](r)
+}
+
+// ReadTimingObservations decodes a JSON Lines timing-observation stream,
+// as written by JSONLObserver.ObserveTiming, back into observations.
+func ReadTimingObservations(r io.Reader) ([]TimingObservation, error) {
+	return readJSONL[TimingObservation](r)
+}
+
+// readJSONL decodes one homogeneous JSON Lines stream. Blank lines are
+// skipped; a malformed line fails with its 1-based line number.
+func readJSONL[T any](r io.Reader) ([]T, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	var out []Observation
+	var out []T
 	line := 0
 	for sc.Scan() {
 		line++
@@ -87,7 +109,7 @@ func ReadObservations(r io.Reader) ([]Observation, error) {
 		if len(raw) == 0 {
 			continue
 		}
-		var obs Observation
+		var obs T
 		if err := json.Unmarshal(raw, &obs); err != nil {
 			return out, fmt.Errorf("destset: observation line %d: %w", line, err)
 		}

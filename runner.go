@@ -46,7 +46,10 @@ type runnerConfig struct {
 	interval    int
 	parallelism int
 	observer    Observer
-	ctx         context.Context
+	// timingObserver streams per-cell timing observations; it is only
+	// consulted by the TimingRunner (see WithTimingObserver).
+	timingObserver TimingObserver
+	ctx            context.Context
 }
 
 // RunnerOption tunes a Runner.

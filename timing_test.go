@@ -1,0 +1,294 @@
+package destset_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"destset"
+	"destset/internal/dataset"
+	"destset/internal/workload"
+)
+
+// timingScale keeps the execution-driven equivalence runs fast.
+const (
+	timingWarm    = 6_000
+	timingMeasure = 6_000
+)
+
+// figureSimSpecs is the six-configuration Figure 7/8 sweep as SimSpecs.
+func figureSimSpecs(cpu destset.CPUModel) []destset.SimSpec {
+	specs := []destset.SimSpec{
+		{Protocol: destset.ProtocolSnooping, CPU: cpu},
+		{Protocol: destset.ProtocolDirectory, CPU: cpu},
+	}
+	for _, pol := range []destset.Policy{
+		destset.Owner, destset.BroadcastIfShared, destset.Group, destset.OwnerGroup,
+	} {
+		specs = append(specs, destset.SimSpec{
+			Protocol: destset.ProtocolMulticast,
+			Policy:   pol, UsePolicy: true,
+			CPU: cpu,
+		})
+	}
+	return specs
+}
+
+// legacySimConfigs hand-builds the same six configurations the way the
+// pre-SimSpec experiments did.
+func legacySimConfigs(cpu destset.CPUModel, nodes int) []destset.SimConfig {
+	cfgs := []destset.SimConfig{
+		destset.DefaultSimConfig(destset.SimSnooping),
+		destset.DefaultSimConfig(destset.SimDirectory),
+	}
+	for _, pol := range []destset.Policy{
+		destset.Owner, destset.BroadcastIfShared, destset.Group, destset.OwnerGroup,
+	} {
+		c := destset.DefaultSimConfig(destset.SimMulticast)
+		c.Predictor = destset.DefaultPredictorConfig(pol, nodes)
+		cfgs = append(cfgs, c)
+	}
+	for i := range cfgs {
+		cfgs[i].CPU = cpu
+	}
+	return cfgs
+}
+
+// TestTimingRunnerMatchesLegacySim is the spec-driven timing equivalence
+// budget: for all six Figure 7/8 configurations on both CPU models, the
+// SimSpec/TimingRunner path must reproduce the legacy sim.Run results
+// bit-identically — same runtime, traffic, latency percentiles and retry
+// counts — at parallelism 1 and parallelism N, and under both source
+// kinds (the runner's zero-copy dataset regions versus materialized
+// legacy traces).
+func TestTimingRunnerMatchesLegacySim(t *testing.T) {
+	p, err := workload.Preset("oltp", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.GetShared(p, timingWarm, timingMeasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmTr, timedTr := d.WarmTrace(), d.MeasureTrace()
+
+	for _, cpu := range []destset.CPUModel{destset.SimpleCPU, destset.DetailedCPU} {
+		cfgs := legacySimConfigs(cpu, p.Nodes)
+		legacy := make([]destset.SimResult, len(cfgs))
+		for i, cfg := range cfgs {
+			res, err := destset.RunTiming(cfg, warmTr, timedTr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy[i] = res
+		}
+
+		specs := figureSimSpecs(cpu)
+		wl := []destset.WorkloadSpec{{Name: "oltp", Warm: timingWarm, Measure: timingMeasure}}
+		for _, par := range []int{1, 8} {
+			res, err := destset.NewTimingRunner(specs, wl,
+				destset.WithSeeds(1),
+				destset.WithParallelism(par),
+			).Run(context.Background())
+			if err != nil {
+				t.Fatalf("cpu=%v parallelism=%d: %v", cpu, par, err)
+			}
+			if len(res) != len(cfgs) {
+				t.Fatalf("cpu=%v parallelism=%d: %d results, want %d", cpu, par, len(res), len(cfgs))
+			}
+			for i := range res {
+				if res[i].Config != cfgs[i].Name() {
+					t.Errorf("cpu=%v parallelism=%d cell %d: config %q, legacy %q",
+						cpu, par, i, res[i].Config, cfgs[i].Name())
+				}
+				if res[i].Result != legacy[i] {
+					t.Errorf("cpu=%v parallelism=%d %s: runner result diverges from legacy sim.Run\n runner: %+v\n legacy: %+v",
+						cpu, par, res[i].Config, res[i].Result, legacy[i])
+				}
+				if res[i].CPU != cpu.String() || res[i].Workload != "oltp" || res[i].Seed != 1 {
+					t.Errorf("cell metadata wrong: %+v", res[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTimingRunnerCancellation: a canceled context must stop the sweep
+// promptly and return the completed prefix-consistent subset of cells,
+// each bit-identical to the uncancelled sweep's value for the same
+// coordinates, in deterministic (spec-major) order.
+func TestTimingRunnerCancellation(t *testing.T) {
+	specs := figureSimSpecs(destset.SimpleCPU)
+	wl := []destset.WorkloadSpec{{Name: "oltp", Warm: timingWarm, Measure: timingMeasure}}
+
+	full, err := destset.NewTimingRunner(specs, wl, destset.WithSeeds(1)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byConfig := make(map[string]destset.TimingResult, len(full))
+	for _, r := range full {
+		byConfig[r.Config] = r
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var seen atomic.Int32
+	partial, err := destset.NewTimingRunner(specs, wl,
+		destset.WithSeeds(1),
+		destset.WithParallelism(2),
+		destset.WithTimingObserver(func(destset.TimingObservation) {
+			if seen.Add(1) == 2 {
+				cancel() // cancel mid-sweep, after two cells completed
+			}
+		}),
+	).Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(partial) >= len(full) {
+		t.Fatalf("cancellation returned all %d cells; expected a partial sweep", len(partial))
+	}
+	if len(partial) == 0 {
+		t.Fatal("no completed cells returned; observer saw at least two")
+	}
+	// Completed cells keep the deterministic spec-major order and their
+	// values match the uncancelled sweep exactly.
+	lastIdx := -1
+	order := make(map[string]int, len(full))
+	for i, r := range full {
+		order[r.Config] = i
+	}
+	for _, r := range partial {
+		i, ok := order[r.Config]
+		if !ok {
+			t.Fatalf("unknown cell %q in partial results", r.Config)
+		}
+		if i <= lastIdx {
+			t.Errorf("partial results out of deterministic order: %q", r.Config)
+		}
+		lastIdx = i
+		if r.Result != byConfig[r.Config].Result {
+			t.Errorf("%s: partial cell diverges from full sweep", r.Config)
+		}
+	}
+}
+
+// TestTimingRunnerContextPreCancelled: an already-cancelled context runs
+// nothing.
+func TestTimingRunnerContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := destset.NewTimingRunner(
+		figureSimSpecs(destset.SimpleCPU)[:1],
+		[]destset.WorkloadSpec{{Name: "oltp", Warm: 2_000, Measure: 2_000}},
+	).Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("pre-cancelled run returned %d cells", len(res))
+	}
+}
+
+// TestSimSpecResolveOverrides: Table-4 knob overrides land in the
+// resolved config, and invalid specs fail eagerly.
+func TestSimSpecResolveOverrides(t *testing.T) {
+	spec := destset.SimSpec{
+		Protocol:       destset.ProtocolMulticast,
+		Policy:         destset.OwnerGroup,
+		UsePolicy:      true,
+		CPU:            destset.DetailedCPU,
+		LinkBytesPerNs: 2.5,
+		TraversalNs:    80,
+		L2LatencyNs:    15,
+		MemLatencyNs:   95,
+		MSHRs:          4,
+		ROBWindow:      128,
+		MaxAttempts:    3,
+	}
+	cfg, err := spec.Resolve(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Interconnect.BytesPerNs != 2.5 || cfg.MSHRs != 4 || cfg.ROBWindow != 128 || cfg.MaxAttempts != 3 {
+		t.Errorf("overrides not applied: %+v", cfg)
+	}
+	if cfg.L2Latency.Nanoseconds() != 15 || cfg.MemLatency.Nanoseconds() != 95 || cfg.Interconnect.Traversal.Nanoseconds() != 80 {
+		t.Errorf("latency overrides not applied: %+v", cfg)
+	}
+	if cfg.CPU != destset.DetailedCPU || cfg.Predictor.Policy != destset.OwnerGroup {
+		t.Errorf("cpu/policy not applied: %+v", cfg)
+	}
+	if got := spec.DisplayLabel(); got != "multicast+ownergroup" {
+		t.Errorf("label = %q", got)
+	}
+
+	if _, err := (destset.SimSpec{Protocol: destset.ProtocolPredictiveDirectory}).Resolve(16); err == nil {
+		t.Error("timing model should reject non-simulatable engines")
+	}
+	if _, err := (destset.SimSpec{}).Resolve(16); err == nil {
+		t.Error("empty spec should fail")
+	}
+	if _, err := (destset.SimSpec{Protocol: destset.ProtocolMulticast, PolicyName: "nosuch"}).Resolve(16); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+// TestTimingRunnerRegisteredPolicyName: the registry path (PolicyName)
+// reaches the timing model and reproduces the by-value policy's results
+// exactly, for built-in names.
+func TestTimingRunnerRegisteredPolicyName(t *testing.T) {
+	wl := []destset.WorkloadSpec{{Name: "barnes-hut", Warm: 4_000, Measure: 4_000}}
+	byValue, err := destset.EvaluateTiming(context.Background(),
+		destset.SimSpec{Protocol: destset.ProtocolMulticast, Policy: destset.Group, UsePolicy: true},
+		wl[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName, err := destset.EvaluateTiming(context.Background(),
+		destset.SimSpec{Protocol: destset.ProtocolMulticast, PolicyName: "group"},
+		wl[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName != byValue {
+		t.Errorf("PolicyName path diverges from Policy path:\n name:  %+v\n value: %+v", byName, byValue)
+	}
+}
+
+// TestTimingObservationsJSONLRoundTrip: the observer sink spills timing
+// cells as JSON Lines and ReadTimingObservations recovers them.
+func TestTimingObservationsJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := destset.NewJSONLObserver(&buf)
+	specs := figureSimSpecs(destset.SimpleCPU)[:2]
+	res, err := destset.NewTimingRunner(specs,
+		[]destset.WorkloadSpec{{Name: "ocean", Warm: 3_000, Measure: 3_000}},
+		destset.WithTimingObserver(sink.ObserveTiming),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := destset.ReadTimingObservations(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(res) {
+		t.Fatalf("decoded %d observations, want %d", len(got), len(res))
+	}
+	want := make(map[string]destset.TimingResult, len(res))
+	for _, r := range res {
+		want[r.Config] = r
+	}
+	for _, o := range got {
+		if o != want[o.Config] {
+			t.Errorf("%s: decoded observation diverges:\n got:  %+v\n want: %+v", o.Config, o, want[o.Config])
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package destset
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"destset/internal/dataset"
+	"destset/internal/sim"
+	"destset/internal/sweep"
+	"destset/internal/trace"
+	"destset/internal/workload"
+)
+
+// TimingResult is one completed timing cell: a SimSpec simulated over a
+// workload at one seed.
+type TimingResult struct {
+	// Sim is the sim spec's display label.
+	Sim string
+	// Config is the resolved configuration's Name() — the label the
+	// paper-figure harnesses print (e.g. "Multicast+Group[1024B,8192e]").
+	Config string
+	// Workload names the workload (preset name or spec label).
+	Workload string
+	// Seed is the workload generation seed of this cell.
+	Seed uint64
+	// CPU names the processor model ("simple" or "detailed").
+	CPU string
+	// Result is the full timing outcome: runtime, traffic, latency
+	// percentiles, retries.
+	Result SimResult
+}
+
+// TimingObservation is one timing cell's result, streamed to observers
+// the moment the cell completes — the timing analogue of Observation.
+// Unlike the trace-driven sweep there are no intra-cell intervals: the
+// execution-driven model's metrics (runtime, queuing) only exist once
+// the cell's event queue drains, so each cell emits exactly one
+// observation.
+type TimingObservation = TimingResult
+
+// TimingObserver receives per-cell timing observations. The TimingRunner
+// serializes calls, so observers need not be concurrency-safe.
+type TimingObserver func(TimingObservation)
+
+// WithTimingObserver streams each completed timing cell to fn while the
+// sweep runs. It has no effect on the trace-driven Runner.
+func WithTimingObserver(fn TimingObserver) RunnerOption {
+	return func(c *runnerConfig) { c.timingObserver = fn }
+}
+
+// timingWorkload is a resolved WorkloadSpec for the timing path: a
+// source pair per seed plus an optional prepare hook that materializes
+// the shared dataset across the worker pool before cells run.
+type timingWorkload struct {
+	name    string
+	nodes   int
+	open    func(seed uint64) (warm, timed sim.Source, err error)
+	prepare func(seed uint64) error
+}
+
+// resolveTiming turns a WorkloadSpec into timing sources. Name- and
+// Params-based workloads resolve through the process-wide dataset store
+// and replay its columns zero-copy (dataset.Region); custom Open sources
+// are drained once per cell into materialized traces, since the timing
+// simulator needs random access for its reorder-buffer window.
+func (w WorkloadSpec) resolveTiming(defaultWarm, defaultMeasure int) (timingWorkload, error) {
+	warm, measure := w.Warm, w.Measure
+	if warm == 0 {
+		warm = defaultWarm
+	}
+	if measure == 0 {
+		measure = defaultMeasure
+	}
+	if warm < 0 {
+		warm = 0
+	}
+	if measure < 0 {
+		measure = 0
+	}
+	if measure == 0 {
+		return timingWorkload{}, fmt.Errorf("destset: timing workload %q needs measured misses", w.label())
+	}
+	tw := timingWorkload{name: w.label(), nodes: w.Nodes}
+	var params func(seed uint64) (WorkloadParams, error)
+	switch {
+	case w.Open != nil:
+		if tw.nodes <= 0 {
+			return timingWorkload{}, fmt.Errorf("destset: workload %q uses a custom stream source and must set Nodes", tw.name)
+		}
+		nodes := tw.nodes
+		open := w.Open
+		tw.open = func(seed uint64) (sim.Source, sim.Source, error) {
+			st, err := open(seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			warmTr := &trace.Trace{Nodes: nodes, Records: make([]trace.Record, 0, warm)}
+			timedTr := &trace.Trace{Nodes: nodes, Records: make([]trace.Record, 0, measure)}
+			for i := 0; i < warm; i++ {
+				rec, _ := st.Next()
+				warmTr.Append(rec)
+			}
+			for i := 0; i < measure; i++ {
+				rec, _ := st.Next()
+				timedTr.Append(rec)
+			}
+			return sim.TraceSource(warmTr), sim.TraceSource(timedTr), nil
+		}
+		return tw, nil
+	case w.Params != nil:
+		base := *w.Params
+		if tw.nodes == 0 {
+			tw.nodes = base.Nodes
+		}
+		params = func(seed uint64) (WorkloadParams, error) {
+			p := base
+			p.Seed = seed
+			return p, nil
+		}
+	case w.Name != "":
+		base, err := workload.Preset(w.Name, 0)
+		if err != nil {
+			return timingWorkload{}, err
+		}
+		if tw.nodes == 0 {
+			tw.nodes = base.Nodes
+		}
+		name := w.Name
+		params = func(seed uint64) (WorkloadParams, error) {
+			return workload.Preset(name, seed)
+		}
+	default:
+		return timingWorkload{}, fmt.Errorf("destset: workload spec needs a Name, Params or Open source")
+	}
+	tw.open = func(seed uint64) (sim.Source, sim.Source, error) {
+		p, err := params(seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		d, err := dataset.GetShared(p, warm, measure)
+		if err != nil {
+			return nil, nil, err
+		}
+		var warmSrc sim.Source
+		if warm > 0 {
+			warmSrc = d.WarmRegion()
+		}
+		return warmSrc, d.MeasureRegion(), nil
+	}
+	tw.prepare = func(seed uint64) error {
+		p, err := params(seed)
+		if err != nil {
+			return err
+		}
+		_, err = dataset.GetShared(p, warm, measure)
+		return err
+	}
+	return tw, nil
+}
+
+// TimingRunner fans a []SimSpec × []WorkloadSpec × seeds cross-product
+// of execution-driven timing simulations over a worker pool — the timing
+// analogue of Runner. Every cell resolves a fresh sim.Config from its
+// spec; Name- and Params-based workloads resolve through the shared
+// dataset store and are replayed zero-copy by any number of concurrent
+// cells. Cells share no mutable state, so Run returns the same results
+// in the same order at parallelism 1 and parallelism N.
+type TimingRunner struct {
+	sims      []SimSpec
+	workloads []WorkloadSpec
+	cfg       runnerConfig
+}
+
+// NewTimingRunner builds a timing sweep over the cross-product of sim
+// and workload specs. It accepts the Runner's functional options; the
+// trace-driven-only ones (WithInterval, WithObserver) are ignored — use
+// WithTimingObserver to stream per-cell timing observations.
+func NewTimingRunner(sims []SimSpec, workloads []WorkloadSpec, opts ...RunnerOption) *TimingRunner {
+	cfg := runnerConfig{
+		seeds:   []uint64{1},
+		warm:    DefaultWarmMisses,
+		measure: DefaultMeasureMisses,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if len(cfg.seeds) == 0 {
+		cfg.seeds = []uint64{1}
+	}
+	return &TimingRunner{
+		sims:      append([]SimSpec(nil), sims...),
+		workloads: append([]WorkloadSpec(nil), workloads...),
+		cfg:       cfg,
+	}
+}
+
+// timingCell is one coordinate of the cross-product.
+type timingCell struct {
+	wi, si int
+	seed   uint64
+}
+
+// Run executes the sweep and returns one TimingResult per cell, ordered
+// workload-major: for each workload, for each sim spec, for each seed.
+// A nil ctx falls back to WithContext, then context.Background(). On
+// cancellation Run returns promptly with the completed cells (still in
+// order) and the context's error; the execution-driven cells themselves
+// check the context, so even a single huge simulation aborts promptly.
+func (r *TimingRunner) Run(ctx context.Context) ([]TimingResult, error) {
+	if ctx == nil {
+		ctx = r.cfg.ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(r.sims) == 0 || len(r.workloads) == 0 {
+		return nil, fmt.Errorf("destset: TimingRunner needs at least one sim spec and one workload spec")
+	}
+	for _, s := range r.sims {
+		if err := s.validate(); err != nil {
+			return nil, err
+		}
+	}
+	workloads := make([]timingWorkload, len(r.workloads))
+	for i, w := range r.workloads {
+		tw, err := w.resolveTiming(r.cfg.warm, r.cfg.measure)
+		if err != nil {
+			return nil, err
+		}
+		workloads[i] = tw
+	}
+	cells := make([]timingCell, 0, len(r.sims)*len(workloads)*len(r.cfg.seeds))
+	for wi := range workloads {
+		for si := range r.sims {
+			for _, seed := range r.cfg.seeds {
+				cells = append(cells, timingCell{wi: wi, si: si, seed: seed})
+			}
+		}
+	}
+
+	// Prewarm phase: materialize every shared dataset once per
+	// (workload, seed) before any cell runs, so generation fans out over
+	// the pool instead of serializing the first cells of each workload.
+	err := sweep.Prewarm(ctx, r.cfg.parallelism, len(workloads), r.cfg.seeds,
+		func(w int) func(uint64) error { return workloads[w].prepare },
+		func(w int) string { return workloads[w].name })
+	if err != nil {
+		return nil, err
+	}
+
+	var obsMu sync.Mutex
+	observe := r.cfg.timingObserver
+	return sweep.Collect(ctx, len(cells), r.cfg.parallelism, func(ctx context.Context, i int) (*TimingResult, error) {
+		c := cells[i]
+		spec, w := r.sims[c.si], workloads[c.wi]
+		cfg, err := spec.Resolve(w.nodes)
+		if err != nil {
+			return nil, err
+		}
+		warmSrc, timedSrc, err := w.open(c.seed)
+		if err != nil {
+			return nil, fmt.Errorf("destset: workload %q: %w", w.name, err)
+		}
+		res, err := sim.Simulate(ctx, cfg, warmSrc, timedSrc)
+		if err != nil {
+			return nil, err
+		}
+		tr := &TimingResult{
+			Sim:      spec.DisplayLabel(),
+			Config:   cfg.Name(),
+			Workload: w.name,
+			Seed:     c.seed,
+			CPU:      cfg.CPU.String(),
+			Result:   res,
+		}
+		if observe != nil {
+			obsMu.Lock()
+			observe(*tr)
+			obsMu.Unlock()
+		}
+		return tr, nil
+	})
+}
+
+// EvaluateTiming runs a single (sim, workload) timing cell — the
+// one-call version of the TimingRunner:
+//
+//	EvaluateTiming(ctx,
+//	    SimSpec{Protocol: ProtocolMulticast, Policy: Group, UsePolicy: true},
+//	    WorkloadSpec{Name: "oltp"})
+func EvaluateTiming(ctx context.Context, spec SimSpec, workload WorkloadSpec, opts ...RunnerOption) (SimResult, error) {
+	res, err := NewTimingRunner([]SimSpec{spec}, []WorkloadSpec{workload}, opts...).Run(ctx)
+	if err != nil {
+		return SimResult{}, err
+	}
+	if len(res) != 1 {
+		return SimResult{}, fmt.Errorf("destset: expected one result, got %d", len(res))
+	}
+	return res[0].Result, nil
+}
