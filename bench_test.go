@@ -15,6 +15,7 @@ import (
 	"context"
 	"testing"
 
+	"destset/internal/dataset"
 	"destset/internal/experiments"
 	"destset/internal/nodeset"
 	"destset/internal/predictor"
@@ -179,6 +180,49 @@ func BenchmarkFigure8(b *testing.B) {
 			b.ReportMetric(pt.NormRuntime, "oltp-snoop-norm-runtime")
 		}
 	}
+}
+
+// BenchmarkDatasetColdStart measures a cold process start against a
+// warm on-disk dataset tier: per iteration a fresh store (no memory
+// residents, as after exec) resolves the oltp dataset from the
+// content-addressed cache. The loaded columns alias the file buffer
+// zero-copy, so this is the price a shard process pays instead of a
+// full regeneration through the coherence oracle (compare
+// BenchmarkWorkloadGenerate × 40k misses).
+func BenchmarkDatasetColdStart(b *testing.B) {
+	dir := b.TempDir()
+	p, err := workload.Preset("oltp", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const warm, measure = 20_000, 20_000
+	key := dataset.KeyOf(p, warm, measure)
+	gen := func() (*dataset.Dataset, error) { return dataset.Generate(p, warm, measure) }
+	seed := dataset.NewStore()
+	if err := seed.SetDir(dir); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := seed.Get(key, gen); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cold := dataset.NewStore()
+		if err := cold.SetDir(dir); err != nil {
+			b.Fatal(err)
+		}
+		ds, err := cold.Get(key, gen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := cold.Stats(); st.Generations != 0 || st.DiskHits != 1 {
+			b.Fatalf("cold start did not load from disk: %+v", st)
+		}
+		if ds.Len() != warm+measure {
+			b.Fatal("short dataset")
+		}
+	}
+	b.ReportMetric(float64(warm+measure), "misses")
 }
 
 // --- component micro-benchmarks ---

@@ -99,8 +99,10 @@ func index(rows []row) map[string]row {
 // defaultKeys are the benchmarks the trend check guards: the headline
 // trace-driven harnesses, the execution-driven timing sweep (Figure 7,
 // guarding the simulator's zero-alloc hot loop and the TimingRunner
-// plumbing), plus the hot-path micro-benchmarks.
-const defaultKeys = "BenchmarkTable2,BenchmarkFigure5,BenchmarkFigure7,BenchmarkProtocolMulticastProcess,BenchmarkPredictorPredict/Group,BenchmarkPredictorTrain"
+// plumbing), the cold-start-from-disk dataset load (guarding the
+// tiered store's zero-copy read path), plus the hot-path
+// micro-benchmarks.
+const defaultKeys = "BenchmarkTable2,BenchmarkFigure5,BenchmarkFigure7,BenchmarkDatasetColdStart,BenchmarkProtocolMulticastProcess,BenchmarkPredictorPredict/Group,BenchmarkPredictorTrain"
 
 // compare reports per-key deltas and whether any exceeds the thresholds.
 func compare(baseline, latest map[string]row, keys []string, timePct, bytesPct float64) (lines []string, failed bool) {

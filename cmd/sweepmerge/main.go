@@ -1,0 +1,65 @@
+// Command sweepmerge reassembles the JSONL observation files of a
+// sharded sweep into the full-run observation stream.
+//
+// Usage:
+//
+//	sweepmerge -o merged.jsonl shard0.jsonl shard1.jsonl ...
+//
+// Each input must be the -json output of one shard of the same sweep —
+// e.g. `timing -fig7 -json -shard 0/2` and `... -shard 1/2` — and
+// begins with a shard-manifest record naming the sweep plan. The merge
+// refuses mismatched plan fingerprints, duplicate or missing shards,
+// and records that name cells outside the plan: files from different
+// sweeps never silently combine. The merged output carries the records
+// verbatim, reordered into the plan's deterministic cell order, and is
+// byte-identical to the file an unsharded `-json -parallel 1` run
+// writes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"destset"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: sweepmerge [-o merged.jsonl] shard0.jsonl shard1.jsonl ...")
+		os.Exit(2)
+	}
+	if err := merge(*out, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepmerge:", err)
+		os.Exit(1)
+	}
+}
+
+func merge(out string, paths []string) (err error) {
+	readers := make([]io.Reader, len(paths))
+	for i, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		readers[i] = f
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		w = f
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+	}
+	return destset.MergeObservations(w, readers...)
+}

@@ -7,6 +7,7 @@
 //	timing [-warm N] [-misses N] [-seed S] [-workloads a,b] [-parallel N]
 //	       [-protocols snooping,multicast+group] [-cpu simple|detailed]
 //	       [-fig7] [-fig8] [-sweep] [-runs N] [-json]
+//	       [-shard i/n] [-dataset-dir path]
 //
 // Every simulation rides the SimSpec/TimingRunner sweep: the
 // per-protocol cells of each figure run concurrently over the worker
@@ -17,8 +18,22 @@
 // -json switches the output from formatted tables to JSON Lines on
 // stdout, streamed through the observer sink as cells complete: one
 // TimingObservation per simulated (protocol, workload, seed) cell,
-// decodable with destset.ReadTimingObservations. Ctrl-C cancels the
-// sweep promptly; completed cells are already on stdout.
+// decodable with destset.ReadTimingObservations. When exactly one
+// figure is selected the stream opens with a shard-manifest record
+// naming the sweep plan. Ctrl-C cancels the sweep promptly; completed
+// cells are already on stdout.
+//
+// -shard i/n runs only shard i of n of the figure's cell index space,
+// so independent processes can split one sweep: give each the same
+// flags plus its own -shard, collect the JSONL outputs, and reassemble
+// the full run with cmd/sweepmerge. -shard requires -json and exactly
+// one of -fig7/-fig8 (the sharded stream is raw cells; panel tables
+// need every cell).
+//
+// -dataset-dir points the shared dataset store at a persistent on-disk
+// cache: generated traces (with their coherence annotations) spill
+// there and cold processes — each shard of a sweep, say — load them
+// back zero-copy instead of regenerating.
 //
 // With no selection flags, both figures are printed.
 package main
@@ -50,6 +65,8 @@ func main() {
 		sweepFlag = flag.Bool("sweep", false, "print the link-bandwidth sweep (extension)")
 		runs      = flag.Int("runs", 0, "average over N perturbed runs (the paper's §5.2 variability methodology)")
 		jsonOut   = flag.Bool("json", false, "emit per-cell timing observations as JSON Lines instead of tables")
+		shardFlag = flag.String("shard", "", "run only shard i/n of the selected figure's sweep (requires -json and exactly one of -fig7/-fig8)")
+		dataDir   = flag.String("dataset-dir", "", "persistent on-disk dataset cache shared across processes")
 	)
 	flag.Parse()
 
@@ -87,6 +104,12 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *dataDir != "" {
+		if err := destset.SetDatasetDir(*dataDir); err != nil {
+			fail(err)
+		}
+	}
+
 	wantFig7, wantFig8 := *fig7, *fig8
 	switch *cpu {
 	case "":
@@ -104,6 +127,40 @@ func main() {
 		fail(fmt.Errorf("unknown -cpu %q (want simple or detailed)", *cpu))
 	}
 	all := !wantFig7 && !wantFig8 && !*sweepFlag && *runs == 0 && *cpu == ""
+
+	// The manifest-bearing JSONL sweep path: exactly one figure selected
+	// with -json. Sharded runs must take it — a shard holds raw cells,
+	// not whole panels — and unsharded -json single-figure runs take it
+	// too, so the full-run file carries the same manifest and merges
+	// byte-compare against sharded ones.
+	if *jsonOut && wantFig7 != wantFig8 && !*sweepFlag && *runs == 0 {
+		shard, shards, err := destset.ParseShard(*shardFlag)
+		if err != nil {
+			fail(err)
+		}
+		model := destset.SimpleCPU
+		if wantFig8 {
+			model = destset.DetailedCPU
+		}
+		plan, err := experiments.TimingSweepPlan(opt, model)
+		if err != nil {
+			fail(err)
+		}
+		if err := sink.WriteManifest(plan.Manifest(shard, shards)); err != nil {
+			fail(err)
+		}
+		if _, err := experiments.TimingSweep(ctx, opt, model, shard, shards); err != nil {
+			fail(err)
+		}
+		if err := sink.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "timing:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shardFlag != "" {
+		fail(fmt.Errorf("-shard requires -json and exactly one of -fig7/-fig8"))
+	}
 
 	if all || wantFig7 {
 		panels, err := experiments.Figure7(ctx, opt)

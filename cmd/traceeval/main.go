@@ -5,20 +5,37 @@
 // Usage:
 //
 //	traceeval [-warm N] [-misses N] [-seed S] [-workloads a,b] [-parallel N]
-//	          [-fig5] [-fig6a] [-fig6b] [-fig6c]
+//	          [-fig5] [-fig6a] [-fig6b] [-fig6c] [-json]
+//	          [-shard i/n] [-dataset-dir path]
 //
 // Every figure fans its engine × workload sweep over a worker pool (the
 // public destset.Runner); -parallel caps the pool.
+//
+// -json emits per-cell sweep observations as JSON Lines on stdout
+// (decodable with destset.ReadObservations) instead of tables. With
+// -fig5 alone the stream opens with a shard-manifest record naming the
+// sweep plan, which is what -shard builds on: -shard i/n runs only
+// shard i of n of the Figure 5 cell index space, so independent
+// processes split the sweep and cmd/sweepmerge reassembles their JSONL
+// outputs into the exact full run. -shard requires -json -fig5.
+//
+// -dataset-dir points the shared dataset store at a persistent on-disk
+// cache: generated traces (with their coherence annotations) spill
+// there and cold processes load them back zero-copy instead of
+// regenerating.
 //
 // With no selection flags, everything is printed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
+	"destset"
 	"destset/internal/experiments"
 )
 
@@ -36,8 +53,14 @@ func main() {
 		hybrids   = flag.Bool("hybrids", false, "print the hybrid-style comparison (extension)")
 		oracle    = flag.Bool("oracle", false, "print the oracle prediction limit (extension)")
 		ablations = flag.Bool("ablations", false, "print predictor design ablations (extension)")
+		jsonOut   = flag.Bool("json", false, "emit per-cell sweep observations as JSON Lines instead of tables")
+		shardFlag = flag.String("shard", "", "run only shard i/n of the Figure 5 sweep (requires -json -fig5)")
+		dataDir   = flag.String("dataset-dir", "", "persistent on-disk dataset cache shared across processes")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opt := experiments.DefaultOptions()
 	opt.Seed = *seed
@@ -49,16 +72,69 @@ func main() {
 	}
 	all := !*fig5 && !*fig6a && !*fig6b && !*fig6c && !*hybrids && !*oracle && !*ablations
 
+	var sink *destset.JSONLObserver
+	if *jsonOut {
+		sink = destset.NewJSONLObserver(os.Stdout)
+		opt.Observer = sink.Observe
+		defer sink.Flush()
+	}
+
 	fail := func(err error) {
+		if sink != nil {
+			sink.Flush()
+		}
 		fmt.Fprintln(os.Stderr, "traceeval:", err)
 		os.Exit(1)
+	}
+
+	if *dataDir != "" {
+		if err := destset.SetDatasetDir(*dataDir); err != nil {
+			fail(err)
+		}
+	}
+
+	// The manifest-bearing JSONL sweep path: -json -fig5 alone. Sharded
+	// runs must take it — a shard holds raw cells, not whole panels —
+	// and the unsharded -json -fig5 run takes it too, so the full-run
+	// file carries the same manifest and merges byte-compare against
+	// sharded ones.
+	onlyFig5 := *fig5 && !*fig6a && !*fig6b && !*fig6c && !*hybrids && !*oracle && !*ablations
+	if *jsonOut && onlyFig5 {
+		shard, shards, err := destset.ParseShard(*shardFlag)
+		if err != nil {
+			fail(err)
+		}
+		plan, err := experiments.TradeoffSweepPlan(opt)
+		if err != nil {
+			fail(err)
+		}
+		if err := sink.WriteManifest(plan.Manifest(shard, shards)); err != nil {
+			fail(err)
+		}
+		if _, err := experiments.TradeoffSweep(ctx, opt, shard, shards); err != nil {
+			fail(err)
+		}
+		if err := sink.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "traceeval:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shardFlag != "" {
+		fail(fmt.Errorf("-shard requires -json and -fig5 (alone)"))
+	}
+
+	show := func(s string) {
+		if !*jsonOut {
+			fmt.Println(s)
+		}
 	}
 	if all || *fig5 {
 		panels, err := experiments.Figure5(opt)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(experiments.FormatTradeoff(
+		show(experiments.FormatTradeoff(
 			"Figure 5: standout predictors (8192 entries, 1024B macroblocks)", panels))
 	}
 	if all || *fig6a {
@@ -66,7 +142,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(experiments.FormatTradeoffPoints(
+		show(experiments.FormatTradeoffPoints(
 			"Figure 6(a): PC vs data-block indexing, unbounded predictors", "oltp", pts))
 	}
 	if all || *fig6b {
@@ -74,7 +150,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(experiments.FormatTradeoffPoints(
+		show(experiments.FormatTradeoffPoints(
 			"Figure 6(b): macroblock indexing, unbounded predictors", "oltp", pts))
 	}
 	if all || *fig6c {
@@ -82,7 +158,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(experiments.FormatTradeoffPoints(
+		show(experiments.FormatTradeoffPoints(
 			"Figure 6(c): predictor size and StickySpatial(1) comparison", "oltp", pts))
 	}
 	if all || *hybrids {
@@ -90,7 +166,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(experiments.FormatTradeoff(
+		show(experiments.FormatTradeoff(
 			"Extension: multicast snooping vs predictive directory (Acacio-style)", panels))
 	}
 	if all || *oracle {
@@ -98,7 +174,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(experiments.FormatTradeoff(
+		show(experiments.FormatTradeoff(
 			"Extension: oracle prediction limit", panels))
 	}
 	if all || *ablations {
@@ -106,19 +182,19 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(experiments.FormatTradeoffPoints(
+		show(experiments.FormatTradeoffPoints(
 			"Ablation: Group rollover (training-down) limit", "oltp", pts))
 		pts, err = experiments.AblationAssociativity(opt, []int{1, 2, 4, 8})
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(experiments.FormatTradeoffPoints(
+		show(experiments.FormatTradeoffPoints(
 			"Ablation: predictor table associativity (OwnerGroup, 8192 entries)", "oltp", pts))
 		pts, err = experiments.MacroblockSweep(opt, []int{64, 256, 1024, 4096, 16384})
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(experiments.FormatTradeoffPoints(
+		show(experiments.FormatTradeoffPoints(
 			"Ablation: macroblock size sweep (OwnerGroup, unbounded)", "oltp", pts))
 	}
 }

@@ -1,11 +1,24 @@
 // Command tracegen generates a synthetic coherence-request trace for one
-// of the paper's workloads and writes it in the binary trace format, or
-// summarizes an existing trace file.
+// of the paper's workloads, or summarizes an existing trace file.
 //
 // Usage:
 //
-//	tracegen -workload oltp -misses 1000000 -o oltp.trace
-//	tracegen -summarize oltp.trace
+//	tracegen -workload oltp -misses 1000000 [-warm 100000] -o oltp.dset
+//	tracegen -legacy -workload oltp -misses 1000000 -o oltp.trace
+//	tracegen -summarize oltp.dset
+//
+// By default the output is the full columnar dataset format
+// (internal/dataset disk format): the trace columns and the per-miss
+// coherence annotations (owner, sharers, requester state) plus the
+// whole-run block statistics, exactly the file the tiered dataset store
+// writes — so a pre-generated file drops straight into a -dataset-dir
+// cache consumer or loads zero-copy via dataset.ReadFile. -warm splits
+// the stream into warm and measured regions the way the sweeps consume
+// it.
+//
+// -legacy writes the original records-only binary trace format
+// (trace.Writer), which carries no annotations. -summarize auto-detects
+// either format.
 package main
 
 import (
@@ -14,6 +27,7 @@ import (
 	"io"
 	"os"
 
+	"destset/internal/dataset"
 	"destset/internal/trace"
 	"destset/internal/workload"
 )
@@ -21,10 +35,12 @@ import (
 func main() {
 	var (
 		name      = flag.String("workload", "oltp", "workload preset name")
-		misses    = flag.Int("misses", 1_000_000, "number of misses to generate")
+		misses    = flag.Int("misses", 1_000_000, "number of measured misses to generate")
+		warmN     = flag.Int("warm", 0, "number of warm-region misses preceding the measured region (columnar format only)")
 		seed      = flag.Uint64("seed", 1, "generation seed")
 		out       = flag.String("o", "", "output file (default stdout)")
-		summarize = flag.String("summarize", "", "summarize an existing trace file instead")
+		legacy    = flag.Bool("legacy", false, "write the legacy records-only trace format instead of the columnar dataset")
+		summarize = flag.String("summarize", "", "summarize an existing trace/dataset file instead")
 	)
 	flag.Parse()
 
@@ -35,13 +51,59 @@ func main() {
 		}
 		return
 	}
-	if err := generate(*name, *seed, *misses, *out); err != nil {
+	var err error
+	if *legacy {
+		err = generateLegacy(*name, *seed, *misses, *out)
+	} else {
+		err = generate(*name, *seed, *warmN, *misses, *out)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func generate(name string, seed uint64, misses int, out string) error {
+// withOutput runs fn with the output writer (stdout or a created file).
+func withOutput(out string, fn func(io.Writer) error) error {
+	if out == "" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// generate writes the full columnar dataset: trace plus coherence
+// annotations and block statistics, warm and measured regions.
+func generate(name string, seed uint64, warm, misses int, out string) error {
+	params, err := workload.Preset(name, seed)
+	if err != nil {
+		return err
+	}
+	ds, err := dataset.Generate(params, warm, misses)
+	if err != nil {
+		return err
+	}
+	err = withOutput(out, func(w io.Writer) error {
+		_, err := ds.WriteTo(w)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d warm + %d measured annotated misses of %s (%d block stats)\n",
+		ds.Warm(), ds.Measure(), name, len(ds.BlockStats()))
+	return nil
+}
+
+// generateLegacy writes the original records-only binary trace format.
+func generateLegacy(name string, seed uint64, misses int, out string) error {
 	params, err := workload.Preset(name, seed)
 	if err != nil {
 		return err
@@ -50,33 +112,87 @@ func generate(name string, seed uint64, misses int, out string) error {
 	if err != nil {
 		return err
 	}
-	var w io.Writer = os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
+	err = withOutput(out, func(w io.Writer) error {
+		tw, err := trace.NewWriter(w, params.Nodes)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
-	}
-	tw, err := trace.NewWriter(w, params.Nodes)
+		for i := 0; i < misses; i++ {
+			rec, _ := g.Next()
+			if err := tw.Write(rec); err != nil {
+				return err
+			}
+		}
+		return tw.Flush()
+	})
 	if err != nil {
 		return err
 	}
-	for i := 0; i < misses; i++ {
-		rec, _ := g.Next()
-		if err := tw.Write(rec); err != nil {
-			return err
-		}
-	}
-	if err := tw.Flush(); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "tracegen: wrote %d misses of %s\n", misses, name)
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d misses of %s (legacy format, no annotations)\n", misses, name)
 	return nil
 }
 
 func summary(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	if dataset.Sniff(magic[:]) {
+		return summarizeDataset(path)
+	}
+	return summarizeLegacy(path)
+}
+
+// tally accumulates the summary statistics both formats share.
+type tally struct {
+	n, reads, instr uint64
+	perNode         []uint64
+}
+
+func (t *tally) add(rec trace.Record) {
+	t.n++
+	t.instr += uint64(rec.Gap)
+	if rec.Kind == trace.GetShared {
+		t.reads++
+	}
+	t.perNode[rec.Requester]++
+}
+
+func (t *tally) print(nodes int) {
+	fmt.Printf("trace: %d nodes, %d misses, %.1f%% reads, %.2f misses/1k instructions\n",
+		nodes, t.n, 100*float64(t.reads)/float64(t.n), 1000*float64(t.n)/float64(t.instr))
+	for i, c := range t.perNode {
+		fmt.Printf("  node %2d: %d misses\n", i, c)
+	}
+}
+
+func summarizeDataset(path string) error {
+	ds, err := dataset.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	t := tally{perNode: make([]uint64, ds.Nodes())}
+	var annotated uint64
+	for i := 0; i < ds.Len(); i++ {
+		rec, mi := ds.At(i)
+		t.add(rec)
+		if !mi.Sharers.Empty() {
+			annotated++
+		}
+	}
+	t.print(ds.Nodes())
+	fmt.Printf("dataset: %d warm + %d measured, %.1f%% of misses had sharers, %d touched-block stats\n",
+		ds.Warm(), ds.Measure(), 100*float64(annotated)/float64(t.n), len(ds.BlockStats()))
+	return nil
+}
+
+func summarizeLegacy(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -86,9 +202,7 @@ func summary(path string) error {
 	if err != nil {
 		return err
 	}
-	var n, reads uint64
-	var instr uint64
-	perNode := make([]uint64, r.Nodes())
+	t := tally{perNode: make([]uint64, r.Nodes())}
 	for {
 		rec, err := r.Read()
 		if err == io.EOF {
@@ -97,17 +211,8 @@ func summary(path string) error {
 		if err != nil {
 			return err
 		}
-		n++
-		instr += uint64(rec.Gap)
-		if rec.Kind == trace.GetShared {
-			reads++
-		}
-		perNode[rec.Requester]++
+		t.add(rec)
 	}
-	fmt.Printf("trace: %d nodes, %d misses, %.1f%% reads, %.2f misses/1k instructions\n",
-		r.Nodes(), n, 100*float64(reads)/float64(n), 1000*float64(n)/float64(instr))
-	for i, c := range perNode {
-		fmt.Printf("  node %2d: %d misses\n", i, c)
-	}
+	t.print(r.Nodes())
 	return nil
 }

@@ -9,14 +9,17 @@
 //
 //   - Dataset is an immutable, columnar (struct-of-arrays) recording of
 //     a generated trace together with its per-miss coherence
-//     annotations, stored in fixed-size chunks so no single allocation
-//     scales with trace length and appends never copy.
+//     annotations: one contiguous slice per column, sized exactly at
+//     generation time (the warm+measure scale is known up front).
 //   - Replayer is a zero-copy, zero-allocation cursor over a Dataset
 //     implementing the sweep engine's Stream contract. Any number of
 //     replayers can walk the same dataset concurrently.
 //   - Store (store.go) memoizes datasets behind a concurrency-safe,
 //     singleflight map so concurrent sweep cells generate each dataset
-//     once and replay it everywhere.
+//     once and replay it everywhere. When a dataset directory is
+//     configured the store is tiered: memory in front of an on-disk
+//     content-addressed cache (disk.go), so cold processes load the
+//     columns straight off disk instead of regenerating.
 //
 // Columnar layout matters twice over: it drops per-record padding (a
 // Record+MissInfo pair costs 56 bytes as Go structs but 32 bytes as
@@ -36,27 +39,32 @@ import (
 	"destset/internal/workload"
 )
 
-// Records per chunk. 1<<14 keeps a chunk around half a megabyte — big
-// enough that the chunk-boundary branch in Replayer.Next is noise, small
-// enough that a dataset never over-allocates by more than one chunk.
-const (
-	chunkShift = 14
-	chunkLen   = 1 << chunkShift
-	chunkMask  = chunkLen - 1
-)
+// cols holds one contiguous slice per recorded column. All columns of a
+// record share one index, so a (Record, MissInfo) pair is reassembled
+// from eight parallel reads of the same slot. Columns are allocated
+// exactly once at the generation scale — or, for datasets loaded from
+// disk, aliased zero-copy into the file buffer (disk.go).
+type cols struct {
+	addr     []trace.Addr
+	pc       []trace.PC
+	sharers  []nodeset.Set
+	gap      []uint32
+	req      []uint8
+	kind     []trace.Kind
+	owner    []nodeset.NodeID
+	reqState []cache.State
+}
 
-// chunk is one fixed-size arena of columns. All columns of a record share
-// one index, so a (Record, MissInfo) pair is reassembled from eight
-// parallel reads of the same slot.
-type chunk struct {
-	addr     [chunkLen]trace.Addr
-	pc       [chunkLen]trace.PC
-	gap      [chunkLen]uint32
-	req      [chunkLen]uint8
-	kind     [chunkLen]trace.Kind
-	owner    [chunkLen]nodeset.NodeID
-	sharers  [chunkLen]nodeset.Set
-	reqState [chunkLen]cache.State
+// alloc sizes every column for exactly n records.
+func (c *cols) alloc(n int) {
+	c.addr = make([]trace.Addr, n)
+	c.pc = make([]trace.PC, n)
+	c.sharers = make([]nodeset.Set, n)
+	c.gap = make([]uint32, n)
+	c.req = make([]uint8, n)
+	c.kind = make([]trace.Kind, n)
+	c.owner = make([]nodeset.NodeID, n)
+	c.reqState = make([]cache.State, n)
 }
 
 // Dataset is one workload's generated, annotated trace: a warm region
@@ -67,7 +75,7 @@ type Dataset struct {
 	params workload.Params
 	warm   int
 	n      int // warm + measure
-	chunks []*chunk
+	c      cols
 
 	// blockStats is the compact snapshot of the oracle's per-block
 	// touched-set and miss counters after the whole run, in address
@@ -102,26 +110,18 @@ func Generate(p workload.Params, warm, measure int) (*Dataset, error) {
 		return nil, err
 	}
 	n := warm + measure
-	d := &Dataset{
-		params: p,
-		warm:   warm,
-		n:      n,
-		chunks: make([]*chunk, 0, (n+chunkLen-1)/chunkLen),
-	}
+	d := &Dataset{params: p, warm: warm, n: n}
+	d.c.alloc(n)
 	for i := 0; i < n; i++ {
 		rec, mi := g.Next()
-		if i&chunkMask == 0 {
-			d.chunks = append(d.chunks, &chunk{})
-		}
-		c, j := d.chunks[i>>chunkShift], i&chunkMask
-		c.addr[j] = rec.Addr
-		c.pc[j] = rec.PC
-		c.gap[j] = rec.Gap
-		c.req[j] = rec.Requester
-		c.kind[j] = rec.Kind
-		c.owner[j] = mi.Owner
-		c.sharers[j] = mi.Sharers
-		c.reqState[j] = mi.RequesterState
+		d.c.addr[i] = rec.Addr
+		d.c.pc[i] = rec.PC
+		d.c.gap[i] = rec.Gap
+		d.c.req[i] = rec.Requester
+		d.c.kind[i] = rec.Kind
+		d.c.owner[i] = mi.Owner
+		d.c.sharers[i] = mi.Sharers
+		d.c.reqState[i] = mi.RequesterState
 	}
 	d.rescaleGaps(0, warm)
 	d.rescaleGaps(warm, n)
@@ -139,7 +139,7 @@ func (d *Dataset) rescaleGaps(lo, hi int) {
 	}
 	var totalGap uint64
 	for i := lo; i < hi; i++ {
-		totalGap += uint64(d.chunks[i>>chunkShift].gap[i&chunkMask])
+		totalGap += uint64(d.c.gap[i])
 	}
 	if totalGap == 0 {
 		return
@@ -147,12 +147,11 @@ func (d *Dataset) rescaleGaps(lo, hi int) {
 	target := float64(hi-lo) * 1000 / d.params.MissesPer1000Instr
 	scale := target / float64(totalGap)
 	for i := lo; i < hi; i++ {
-		c, j := d.chunks[i>>chunkShift], i&chunkMask
-		gap := float64(c.gap[j]) * scale
+		gap := float64(d.c.gap[i]) * scale
 		if gap < 1 {
 			gap = 1
 		}
-		c.gap[j] = uint32(gap)
+		d.c.gap[i] = uint32(gap)
 	}
 }
 
@@ -193,26 +192,25 @@ const (
 // with it and is additionally notified (via grow) when the legacy
 // record views materialize later.
 func (d *Dataset) Bytes() int64 {
-	return int64(len(d.chunks))*perRecord*chunkLen + int64(len(d.blockStats))*perStat
+	return int64(d.n)*perRecord + int64(len(d.blockStats))*perStat
 }
 
 // At returns record i and its coherence annotation. Index 0 is the first
 // warm record; the measured region starts at Warm().
 func (d *Dataset) At(i int) (trace.Record, coherence.MissInfo) {
-	c, j := d.chunks[i>>chunkShift], i&chunkMask
 	return trace.Record{
-			Addr:      c.addr[j],
-			PC:        c.pc[j],
-			Requester: c.req[j],
-			Kind:      c.kind[j],
-			Gap:       c.gap[j],
+			Addr:      d.c.addr[i],
+			PC:        d.c.pc[i],
+			Requester: d.c.req[i],
+			Kind:      d.c.kind[i],
+			Gap:       d.c.gap[i],
 		}, coherence.MissInfo{
 			// The home node is block-interleaved across the memory
 			// controllers; deriving it saves a column.
-			Home:           nodeset.NodeID(uint64(c.addr[j]) % uint64(d.params.Nodes)),
-			Owner:          c.owner[j],
-			Sharers:        c.sharers[j],
-			RequesterState: c.reqState[j],
+			Home:           nodeset.NodeID(uint64(d.c.addr[i]) % uint64(d.params.Nodes)),
+			Owner:          d.c.owner[i],
+			Sharers:        d.c.sharers[i],
+			RequesterState: d.c.reqState[i],
 		}
 }
 
@@ -270,13 +268,12 @@ func (d *Dataset) MeasureTrace() *trace.Trace {
 // — the cheap accessor for consumers (the timing simulator) that evolve
 // their own live coherence state.
 func (d *Dataset) RecordAt(i int) trace.Record {
-	c, j := d.chunks[i>>chunkShift], i&chunkMask
 	return trace.Record{
-		Addr:      c.addr[j],
-		PC:        c.pc[j],
-		Requester: c.req[j],
-		Kind:      c.kind[j],
-		Gap:       c.gap[j],
+		Addr:      d.c.addr[i],
+		PC:        d.c.pc[i],
+		Requester: d.c.req[i],
+		Kind:      d.c.kind[i],
+		Gap:       d.c.gap[i],
 	}
 }
 
@@ -309,19 +306,19 @@ func (d *Dataset) MeasureRegion() Region { return Region{d: d, lo: d.warm, hi: d
 // record. Replayers allocate nothing per Next call and never mutate the
 // dataset, so any number can run concurrently.
 func (d *Dataset) Replay() *Replayer {
-	return &Replayer{chunks: d.chunks, n: d.n, nodes: uint64(d.params.Nodes)}
+	return &Replayer{c: d.c, n: d.n, nodes: uint64(d.params.Nodes)}
 }
 
 // Replayer is a sequential cursor over a Dataset: the warm region first,
 // then the measured region. It implements the sweep engine's Stream
 // contract (Next), with reads straight out of the shared columns. A
-// cursor holds only the column chunks, so an outstanding cursor does
+// cursor holds only the column headers, so an outstanding cursor does
 // not pin an evicted dataset's block statistics or legacy views.
 type Replayer struct {
-	chunks []*chunk
-	i      int
-	n      int
-	nodes  uint64
+	c     cols
+	i     int
+	n     int
+	nodes uint64
 }
 
 // Next returns the next record and its coherence annotation. It panics
@@ -333,18 +330,18 @@ func (r *Replayer) Next() (trace.Record, coherence.MissInfo) {
 		panic("dataset: replay past the end of the recorded trace")
 	}
 	r.i = i + 1
-	c, j := r.chunks[i>>chunkShift], i&chunkMask
+	c := &r.c
 	return trace.Record{
-			Addr:      c.addr[j],
-			PC:        c.pc[j],
-			Requester: c.req[j],
-			Kind:      c.kind[j],
-			Gap:       c.gap[j],
+			Addr:      c.addr[i],
+			PC:        c.pc[i],
+			Requester: c.req[i],
+			Kind:      c.kind[i],
+			Gap:       c.gap[i],
 		}, coherence.MissInfo{
-			Home:           nodeset.NodeID(uint64(c.addr[j]) % r.nodes),
-			Owner:          c.owner[j],
-			Sharers:        c.sharers[j],
-			RequesterState: c.reqState[j],
+			Home:           nodeset.NodeID(uint64(c.addr[i]) % r.nodes),
+			Owner:          c.owner[i],
+			Sharers:        c.sharers[i],
+			RequesterState: c.reqState[i],
 		}
 }
 

@@ -180,8 +180,8 @@ func TestStoreSingleflight(t *testing.T) {
 			t.Errorf("caller %d got a different dataset pointer", i)
 		}
 	}
-	if n, bytes, hits, misses := s.Stats(); n != 1 || bytes <= 0 || hits+misses != 16 {
-		t.Errorf("stats = (%d, %d, %d, %d)", n, bytes, hits, misses)
+	if st := s.Stats(); st.Datasets != 1 || st.Bytes <= 0 || st.MemHits+st.MemMisses != 16 {
+		t.Errorf("stats = %+v", st)
 	}
 }
 
@@ -226,8 +226,8 @@ func TestStoreLimitEvictsLRU(t *testing.T) {
 	if _, err := s.Get(k2, g2); err != nil {
 		t.Fatal(err)
 	}
-	if n, _, _, _ := s.Stats(); n != 1 {
-		t.Fatalf("after over-limit insert: %d datasets resident, want 1", n)
+	if st := s.Stats(); st.Datasets != 1 {
+		t.Fatalf("after over-limit insert: %d datasets resident, want 1", st.Datasets)
 	}
 	// k1 was evicted; getting it again regenerates (a store miss).
 	regen := 0
@@ -240,8 +240,8 @@ func TestStoreLimitEvictsLRU(t *testing.T) {
 	if s.Purge() == 0 {
 		t.Error("Purge dropped nothing")
 	}
-	if n, bytes, _, _ := s.Stats(); n != 0 || bytes != 0 {
-		t.Errorf("after purge: %d datasets, %d bytes", n, bytes)
+	if st := s.Stats(); st.Datasets != 0 || st.Bytes != 0 {
+		t.Errorf("after purge: %d datasets, %d bytes", st.Datasets, st.Bytes)
 	}
 }
 
@@ -257,16 +257,16 @@ func TestStoreCountsMaterializedViews(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, before, _, _ := s.Stats()
+	before := s.Stats().Bytes
 	ds.WarmTrace()
 	ds.MeasureTrace()
 	ds.WarmTrace() // memoized: must not double-charge
-	_, after, _, _ := s.Stats()
+	after := s.Stats().Bytes
 	if want := before + int64(warm+measure)*perLegacy; after != want {
 		t.Errorf("bytes after materialization = %d, want %d (before %d)", after, want, before)
 	}
 	s.Purge()
-	if _, bytes, _, _ := s.Stats(); bytes != 0 {
+	if bytes := s.Stats().Bytes; bytes != 0 {
 		t.Errorf("bytes after purge = %d, want 0 (growth must be uncharged on removal)", bytes)
 	}
 }
@@ -300,8 +300,8 @@ func TestPurgeDetachesInFlightGeneration(t *testing.T) {
 	if ds := <-done; ds == nil {
 		t.Fatal("waiter did not receive its dataset")
 	}
-	if n, bytes, _, _ := s.Stats(); n != 0 || bytes != 0 {
-		t.Errorf("purged-while-generating dataset was cached: %d datasets, %d bytes", n, bytes)
+	if st := s.Stats(); st.Datasets != 0 || st.Bytes != 0 {
+		t.Errorf("purged-while-generating dataset was cached: %d datasets, %d bytes", st.Datasets, st.Bytes)
 	}
 	// The key regenerates fresh on next use.
 	regen := 0

@@ -1,0 +1,264 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// equalDatasets compares every record, annotation, block statistic and
+// the parameter identity of two datasets.
+func equalDatasets(t *testing.T, got, want *Dataset) {
+	t.Helper()
+	if got.Warm() != want.Warm() || got.Measure() != want.Measure() || got.Nodes() != want.Nodes() {
+		t.Fatalf("shape (%d,%d,%d) vs (%d,%d,%d)",
+			got.Warm(), got.Measure(), got.Nodes(), want.Warm(), want.Measure(), want.Nodes())
+	}
+	if kg, kw := KeyOf(got.Params(), got.Warm(), got.Measure()), KeyOf(want.Params(), want.Warm(), want.Measure()); kg != kw {
+		t.Fatalf("params identity diverged:\n%s\nvs\n%s", kg.Source, kw.Source)
+	}
+	for i := 0; i < want.Len(); i++ {
+		gr, gm := got.At(i)
+		wr, wm := want.At(i)
+		if gr != wr || gm != wm {
+			t.Fatalf("record %d: (%+v, %+v) vs (%+v, %+v)", i, gr, gm, wr, wm)
+		}
+	}
+	gs, ws := got.BlockStats(), want.BlockStats()
+	if len(gs) != len(ws) {
+		t.Fatalf("%d block stats, want %d", len(gs), len(ws))
+	}
+	for i := range ws {
+		if gs[i] != ws[i] {
+			t.Fatalf("block stat %d: %+v vs %+v", i, gs[i], ws[i])
+		}
+	}
+}
+
+// TestDiskRoundTrip is the format fidelity property: a dataset written
+// to disk and loaded back (zero-copy) is byte-identical — every record,
+// every annotation, every block statistic, and the parameter identity
+// that keys the store.
+func TestDiskRoundTrip(t *testing.T) {
+	p := testParams(t, 11)
+	want, err := Generate(p, 700, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rt.dset")
+	if err := WriteFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalDatasets(t, got, want)
+
+	// A replay cursor over the loaded dataset matches one over the
+	// generated dataset, record for record.
+	rg, rw := got.Replay(), want.Replay()
+	for rw.Remaining() > 0 {
+		gr, gm := rg.Next()
+		wr, wm := rw.Next()
+		if gr != wr || gm != wm {
+			t.Fatalf("replay diverged: (%+v,%+v) vs (%+v,%+v)", gr, gm, wr, wm)
+		}
+	}
+}
+
+// TestDiskWriteDeterministic pins the format: the same dataset always
+// serializes to the same bytes (the CI shard smoke job diffs files).
+func TestDiskWriteDeterministic(t *testing.T) {
+	d, err := Generate(testParams(t, 12), 300, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if _, err := d.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two serializations of the same dataset differ")
+	}
+	if !Sniff(a.Bytes()) {
+		t.Error("Sniff does not recognize a dataset file")
+	}
+	if Sniff([]byte("DSPT....")) {
+		t.Error("Sniff accepts the legacy trace magic")
+	}
+}
+
+// TestDecodeRejectsCorruption flips and truncates bytes across the file
+// and requires every damaged variant to be rejected, never half-loaded.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	d, err := Generate(testParams(t, 13), 200, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Decode(raw); err != nil {
+		t.Fatalf("pristine file rejected: %v", err)
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		b := mutate(append([]byte(nil), raw...))
+		if _, err := Decode(b); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%s: err = %v, want ErrBadFormat", name, err)
+		}
+	}
+	corrupt("bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b })
+	corrupt("future version", func(b []byte) []byte { b[8] = 99; return b })
+	corrupt("flipped payload byte", func(b []byte) []byte { b[len(b)/2] ^= 0x01; return b })
+	corrupt("flipped last byte", func(b []byte) []byte { b[len(b)-1] ^= 0x80; return b })
+	corrupt("truncated", func(b []byte) []byte { return b[:len(b)-7] })
+	corrupt("truncated to header", func(b []byte) []byte { return b[:64] })
+	corrupt("extended", func(b []byte) []byte { return append(b, 0) })
+	corrupt("empty", func([]byte) []byte { return nil })
+	corrupt("absurd count", func(b []byte) []byte {
+		for i := 16; i < 24; i++ {
+			b[i] = 0xff
+		}
+		return b
+	})
+}
+
+// TestStoreDiskTier is the tiered-store acceptance test: a cold store
+// pointed at a warm directory loads from disk and performs zero
+// generations; purging memory does not invalidate disk entries; a
+// corrupted disk entry falls back to generation and is healed.
+func TestStoreDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	p := testParams(t, 14)
+	key := KeyOf(p, 250, 250)
+	gen := func() (*Dataset, error) { return Generate(p, 250, 250) }
+
+	warm := NewStore()
+	if err := warm.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	want, err := warm.Get(key, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := warm.Stats(); st.Generations != 1 || st.DiskHits != 0 || st.DiskMisses != 1 {
+		t.Fatalf("warm store stats after first Get: %+v", st)
+	}
+	if _, err := os.Stat(key.Path(dir)); err != nil {
+		t.Fatalf("generated dataset was not spilled: %v", err)
+	}
+
+	// Memory purge must not orphan or invalidate disk entries: the next
+	// Get reloads from disk, with zero generations.
+	if n := warm.Purge(); n != 1 {
+		t.Fatalf("Purge dropped %d, want 1", n)
+	}
+	reloaded, err := warm.Get(key, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := warm.Stats(); st.Generations != 1 || st.DiskHits != 1 {
+		t.Fatalf("stats after purge+reload: %+v", st)
+	}
+	equalDatasets(t, reloaded, want)
+
+	// A fresh store on the same directory — a cold process — also loads
+	// with zero generations.
+	cold := NewStore()
+	if err := cold.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	fromDisk, err := cold.Get(key, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.Stats(); st.Generations != 0 || st.DiskHits != 1 || st.MemMisses != 1 {
+		t.Fatalf("cold store stats: %+v", st)
+	}
+	equalDatasets(t, fromDisk, want)
+	// And the reload is a memory hit thereafter.
+	if _, err := cold.Get(key, gen); err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.Stats(); st.MemHits != 1 {
+		t.Fatalf("stats after warm re-Get: %+v", st)
+	}
+
+	// Corrupt the disk entry: the next cold store rejects it, counts a
+	// disk miss, regenerates, and heals the file in place.
+	path := key.Path(dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	healed := NewStore()
+	if err := healed.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	regen, err := healed.Get(key, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := healed.Stats(); st.Generations != 1 || st.DiskHits != 0 || st.DiskMisses != 1 {
+		t.Fatalf("stats after corrupted load: %+v", st)
+	}
+	equalDatasets(t, regen, want)
+	verify := NewStore()
+	if err := verify.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.Get(key, gen); err != nil {
+		t.Fatal(err)
+	}
+	if st := verify.Stats(); st.DiskHits != 1 {
+		t.Fatalf("corrupted file was not healed: %+v", st)
+	}
+}
+
+// TestStorePurgeDir drops the disk tier without touching memory
+// residents.
+func TestStorePurgeDir(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore()
+	if err := s.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	p := testParams(t, 15)
+	key := KeyOf(p, 100, 100)
+	if _, err := s.Get(key, func() (*Dataset, error) { return Generate(p, 100, 100) }); err != nil {
+		t.Fatal(err)
+	}
+	// An orphaned temp file (a crash between WriteFile's create and
+	// rename) must be cleaned up too.
+	if err := os.WriteFile(filepath.Join(dir, ".dset-orphan"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.PurgeDir()
+	if err != nil || n != 2 {
+		t.Fatalf("PurgeDir = (%d, %v), want (2, nil): orphaned temp files must be removed", n, err)
+	}
+	if st := s.Stats(); st.Datasets != 1 {
+		t.Fatalf("PurgeDir evicted memory residents: %+v", st)
+	}
+	if _, err := os.Stat(key.Path(dir)); !os.IsNotExist(err) {
+		t.Fatalf("disk entry survived PurgeDir: %v", err)
+	}
+	// No directory configured: PurgeDir is a no-op.
+	bare := NewStore()
+	if n, err := bare.PurgeDir(); n != 0 || err != nil {
+		t.Fatalf("PurgeDir without a dir = (%d, %v)", n, err)
+	}
+}

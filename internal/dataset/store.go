@@ -2,7 +2,12 @@ package dataset
 
 import (
 	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"destset/internal/workload"
@@ -45,14 +50,42 @@ type entry struct {
 
 // Store memoizes datasets by key. The zero value is not ready; use
 // NewStore. All methods are safe for concurrent use.
+//
+// A store is tiered. The memory tier is always present: a singleflight
+// map with an LRU byte limit. When a dataset directory is configured
+// (SetDir) an on-disk content-addressed tier sits behind it: memory
+// misses first probe dir/<sha256(key)>.dset and load the columns
+// zero-copy (disk.go) before falling back to generation, and every
+// generated dataset is spilled to the directory so later — and cold —
+// processes skip generation entirely. Evicting or purging the memory
+// tier never touches disk entries; they stay valid and reloadable.
 type Store struct {
 	mu      sync.Mutex
 	entries map[Key]*entry
 	lru     *list.List // of Key, front = most recently used
 	bytes   int64
 	limit   int64
-	hits    uint64
-	misses  uint64
+	dir     string
+	stats   Stats
+}
+
+// Stats are a store's per-tier counters since process start, plus its
+// resident memory-tier footprint.
+type Stats struct {
+	// Datasets and Bytes describe the resident memory tier.
+	Datasets int
+	Bytes    int64
+	// MemHits and MemMisses count Get calls served by (or missing) the
+	// memory tier.
+	MemHits, MemMisses uint64
+	// DiskHits and DiskMisses count memory misses served by (or missing)
+	// the disk tier. Both stay zero until SetDir configures one; a
+	// corrupted or mismatched file counts as a disk miss.
+	DiskHits, DiskMisses uint64
+	// Generations counts datasets actually generated — Get calls that
+	// missed every tier. A warm disk tier keeps this at zero across
+	// process restarts.
+	Generations uint64
 }
 
 // NewStore returns an empty store with no size limit.
@@ -76,51 +109,125 @@ func (s *Store) SetLimit(bytes int64) {
 	s.trimLocked(nil)
 }
 
-// Get returns the dataset for key, generating it with gen on first use.
-// Concurrent callers of the same key share one generation; callers of
-// different keys generate in parallel. A failed generation is not cached.
+// SetDir configures the on-disk dataset tier rooted at dir (created if
+// missing); an empty dir disables the tier. Changing the directory does
+// not invalidate datasets already resident in memory.
+func (s *Store) SetDir(dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dir = dir
+	return nil
+}
+
+// Dir returns the configured dataset directory ("" when the disk tier is
+// disabled).
+func (s *Store) Dir() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dir
+}
+
+// Path returns the content-addressed file a key lives at under dir: the
+// key (workload fingerprint and scale) plus the format version, hashed.
+// Versioning the address means a format bump never misreads old files —
+// they are simply unreachable and regenerate.
+func (key Key) Path(dir string) string {
+	h := sha256.New()
+	var num [8 * 3]byte
+	binary.LittleEndian.PutUint64(num[0:], uint64(key.Warm))
+	binary.LittleEndian.PutUint64(num[8:], uint64(key.Measure))
+	binary.LittleEndian.PutUint64(num[16:], FileVersion)
+	h.Write(num[:])
+	h.Write([]byte(key.Source))
+	return filepath.Join(dir, hex.EncodeToString(h.Sum(nil)[:16])+".dset")
+}
+
+// Get returns the dataset for key: from memory, else from the disk tier
+// (when configured), else by generating it with gen. Concurrent callers
+// of the same key share one load/generation; callers of different keys
+// proceed in parallel. Generated datasets are spilled to the disk tier
+// best-effort. A failed generation is not cached.
 func (s *Store) Get(key Key, gen func() (*Dataset, error)) (*Dataset, error) {
 	s.mu.Lock()
 	e, ok := s.entries[key]
 	if ok {
-		s.hits++
+		s.stats.MemHits++
 		if e.elem != nil {
 			s.lru.MoveToFront(e.elem)
 		}
 	} else {
-		s.misses++
+		s.stats.MemMisses++
 		e = &entry{}
 		s.entries[key] = e
 	}
 	s.mu.Unlock()
 
 	e.once.Do(func() {
-		e.ds, e.err = gen()
+		if dir := s.Dir(); dir != "" {
+			// Disk tier: a valid file whose decoded identity re-derives
+			// the same key is authoritative — generation is deterministic,
+			// so its contents are exactly what gen would produce. A
+			// missing, truncated, corrupted or colliding file is a plain
+			// disk miss and falls through to generation (which rewrites
+			// the file, healing corruption in place).
+			if ds, err := ReadFile(key.Path(dir)); err == nil &&
+				KeyOf(ds.Params(), ds.Warm(), ds.Measure()) == key {
+				s.bump(func(st *Stats) { st.DiskHits++ })
+				e.ds = ds
+			} else {
+				s.bump(func(st *Stats) { st.DiskMisses++ })
+			}
+		}
+		spill := false
+		if e.ds == nil {
+			s.bump(func(st *Stats) { st.Generations++ })
+			e.ds, e.err = gen()
+			spill = e.err == nil
+		}
 		s.mu.Lock()
-		defer s.mu.Unlock()
 		if e.err != nil {
 			// Do not cache failures: the next caller retries.
 			if s.entries[key] == e {
 				delete(s.entries, key)
 			}
+			s.mu.Unlock()
 			return
 		}
-		if s.entries[key] != e {
-			// Purged while generating: hand the dataset to the waiters
-			// without caching it.
-			return
+		if s.entries[key] == e {
+			e.elem = s.lru.PushFront(key)
+			e.charged = e.ds.Bytes()
+			s.bytes += e.charged
+			// Late allocations (materialized legacy views) keep the byte
+			// accounting honest: without this, timing-path datasets would
+			// outgrow their recorded footprint by up to ~1.75x and defeat
+			// the limit.
+			e.ds.grow = func(delta int64) { s.growEntry(e, delta) }
+			s.trimLocked(e)
 		}
-		e.elem = s.lru.PushFront(key)
-		e.charged = e.ds.Bytes()
-		s.bytes += e.charged
-		// Late allocations (materialized legacy views) keep the byte
-		// accounting honest: without this, timing-path datasets would
-		// outgrow their recorded footprint by up to ~1.75x and defeat
-		// the limit.
-		e.ds.grow = func(delta int64) { s.growEntry(e, delta) }
-		s.trimLocked(e)
+		// else: purged while loading — hand the dataset to the waiters
+		// without caching it.
+		s.mu.Unlock()
+		if spill {
+			if dir := s.Dir(); dir != "" {
+				// Best-effort: a read-only or full directory must not fail
+				// the sweep, it only costs the next cold start.
+				_ = WriteFile(key.Path(dir), e.ds)
+			}
+		}
 	})
 	return e.ds, e.err
+}
+
+// bump applies one counter update under the store lock.
+func (s *Store) bump(fn func(*Stats)) {
+	s.mu.Lock()
+	fn(&s.stats)
+	s.mu.Unlock()
 }
 
 // growEntry records a dataset's late allocation against its entry and,
@@ -172,10 +279,12 @@ func (s *Store) removeLocked(key Key, e *entry) {
 	e.charged = 0
 }
 
-// Purge drops every cached dataset and returns how many were dropped.
-// In-flight generations are unaffected (their callers still get their
-// dataset; it just won't be cached under a purged key — the entry object
-// itself survives for them).
+// Purge drops every cached dataset from the memory tier and returns how
+// many were dropped. In-flight generations are unaffected (their callers
+// still get their dataset; it just won't be cached under a purged key —
+// the entry object itself survives for them). The disk tier is not
+// touched: spilled files stay valid and purged keys reload from disk on
+// next use instead of regenerating. Use PurgeDir to drop the disk tier.
 func (s *Store) Purge() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -193,12 +302,41 @@ func (s *Store) Purge() int {
 	return n
 }
 
-// Stats reports the store's resident datasets, byte total, and
-// hit/miss counters since process start.
-func (s *Store) Stats() (datasets int, bytes int64, hits, misses uint64) {
+// PurgeDir removes every dataset file from the configured disk tier —
+// including any ".dset-*" temp files orphaned by a crash between
+// WriteFile's create and rename — and returns how many were removed.
+// It is a no-op (0, nil) when no directory is configured. Memory-tier
+// residents are unaffected.
+func (s *Store) PurgeDir() (int, error) {
+	dir := s.Dir()
+	if dir == "" {
+		return 0, nil
+	}
+	removed := 0
+	for _, pattern := range []string{"*.dset", ".dset-*"} {
+		matches, err := filepath.Glob(filepath.Join(dir, pattern))
+		if err != nil {
+			return removed, err
+		}
+		for _, path := range matches {
+			if err := os.Remove(path); err != nil {
+				return removed, err
+			}
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+// Stats reports the store's per-tier counters since process start and
+// the resident memory-tier footprint.
+func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.lru.Len(), s.bytes, s.hits, s.misses
+	st := s.stats
+	st.Datasets = s.lru.Len()
+	st.Bytes = s.bytes
+	return st
 }
 
 // OpenShared resolves a fully-specified workload through the Shared

@@ -61,6 +61,10 @@ type Options struct {
 	// wire destset.NewJSONLObserver(w).ObserveTiming here to spill
 	// timing sweeps as JSON Lines.
 	TimingObserver destset.TimingObserver
+	// Observer, when set, streams every trace-driven sweep cell to the
+	// observer — the trace analogue of TimingObserver, wired to
+	// destset.NewJSONLObserver(w).Observe by cmd/traceeval -json.
+	Observer destset.Observer
 }
 
 // DefaultOptions returns the scale used for the committed EXPERIMENTS.md
@@ -204,10 +208,14 @@ func runTradeoff(opt Options, datasets []*Dataset, specs []destset.EngineSpec) (
 	for i, d := range datasets {
 		workloads[i] = d.ReplaySpec()
 	}
-	res, err := destset.NewRunner(specs, workloads,
+	opts := []destset.RunnerOption{
 		destset.WithSeeds(opt.Seed),
 		destset.WithParallelism(opt.Parallelism),
-	).Run(context.Background())
+	}
+	if opt.Observer != nil {
+		opts = append(opts, destset.WithObserver(opt.Observer))
+	}
+	res, err := destset.NewRunner(specs, workloads, opts...).Run(context.Background())
 	if err != nil {
 		return nil, err
 	}

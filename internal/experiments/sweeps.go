@@ -1,0 +1,78 @@
+package experiments
+
+// Sharded sweep entry points. The figure harnesses assemble panels and
+// therefore need every cell of a sweep; a shard process by definition
+// holds only a subset. These functions expose the figures' underlying
+// runners directly: the same specs, workloads, seeds and scale — so the
+// plan (and its fingerprint) is identical across processes — but raw
+// results streamed to observers instead of panels. cmd/traceeval and
+// cmd/timing use them for -json and -shard runs; cmd/sweepmerge
+// reassembles the shard files.
+
+import (
+	"context"
+
+	"destset"
+)
+
+// tradeoffRunner builds the single Runner behind the Figure 5 sweep:
+// the snooping/directory baselines plus the four standout-configuration
+// policies, over every selected workload at the trace-driven scale.
+// Workloads resolve by name through the shared dataset store, which
+// keys identically across processes — the property sharding and the
+// disk tier both rely on.
+func (o Options) tradeoffRunner(shard, shards int) (*destset.Runner, error) {
+	params, err := o.workloads()
+	if err != nil {
+		return nil, err
+	}
+	workloads := make([]destset.WorkloadSpec, len(params))
+	for i, p := range params {
+		workloads[i] = destset.WorkloadSpec{
+			Name:    p.Name,
+			Warm:    explicitScale(o.WarmMisses),
+			Measure: explicitScale(o.Misses),
+		}
+	}
+	specs := append(baselineSpecs(), standoutSpecs()...)
+	opts := []destset.RunnerOption{
+		destset.WithSeeds(o.Seed),
+		destset.WithParallelism(o.Parallelism),
+	}
+	if o.Observer != nil {
+		opts = append(opts, destset.WithObserver(o.Observer))
+	}
+	if shards > 1 {
+		opts = append(opts, destset.WithShard(shard, shards))
+	}
+	return destset.NewRunner(specs, workloads, opts...), nil
+}
+
+// TradeoffSweepPlan returns the plan of the Figure 5 trace-driven sweep
+// under opt without running anything; shard processes and merge tools
+// use its fingerprint and cell list to agree on the cell index space.
+func TradeoffSweepPlan(opt Options) (*destset.SweepPlan, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	runner, err := opt.tradeoffRunner(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	return runner.Plan()
+}
+
+// TradeoffSweep executes shard shard of shards of the Figure 5
+// trace-driven sweep (shards <= 1 runs everything), streaming each
+// cell's observation to opt.Observer and returning the raw results in
+// global plan order.
+func TradeoffSweep(ctx context.Context, opt Options, shard, shards int) ([]destset.RunResult, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	runner, err := opt.tradeoffRunner(shard, shards)
+	if err != nil {
+		return nil, err
+	}
+	return runner.Run(ctx)
+}

@@ -119,51 +119,134 @@ func (o Options) timingWorkloadSpec(name string) destset.WorkloadSpec {
 	}
 }
 
-// runTiming executes all configurations over one workload through the
-// TimingRunner and normalizes as the paper does (runtime to directory,
-// traffic to snooping). The runner fans the per-protocol simulations
-// over the worker pool — every cell replays the same shared dataset
-// zero-copy — and honors ctx.
-func runTiming(ctx context.Context, opt Options, name string, cpu destset.CPUModel) (WorkloadTiming, error) {
-	specs, err := opt.timingSpecs(cpu)
-	if err != nil {
-		return WorkloadTiming{}, err
+// timingNames resolves a figure's workload list for a CPU model: the
+// option set's selection, defaulting to all six workloads for the
+// simple model (Figure 7) and the paper's reduced detailed-model set
+// (Figure 8).
+func (o Options) timingNames(cpu destset.CPUModel) ([]string, error) {
+	if len(o.Workloads) > 0 {
+		return o.Workloads, nil
 	}
-	runner := destset.NewTimingRunner(specs,
-		[]destset.WorkloadSpec{opt.timingWorkloadSpec(name)},
-		opt.timingRunnerOptions()...)
+	if cpu == destset.DetailedCPU {
+		return Figure8Workloads, nil
+	}
+	params, err := o.workloads()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(params))
+	for i, p := range params {
+		names[i] = p.Name
+	}
+	return names, nil
+}
+
+// timingRunner builds the single TimingRunner behind a figure — every
+// selected protocol configuration × every selected workload in one
+// addressable sweep, so the whole figure is one plan that can be
+// executed entire or shard by shard.
+func (o Options) timingRunner(cpu destset.CPUModel, shard, shards int) (*destset.TimingRunner, []destset.SimSpec, []string, error) {
+	specs, err := o.timingSpecs(cpu)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	names, err := o.timingNames(cpu)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	workloads := make([]destset.WorkloadSpec, len(names))
+	for i, n := range names {
+		workloads[i] = o.timingWorkloadSpec(n)
+	}
+	opts := o.timingRunnerOptions()
+	if shards > 1 {
+		opts = append(opts, destset.WithShard(shard, shards))
+	}
+	return destset.NewTimingRunner(specs, workloads, opts...), specs, names, nil
+}
+
+// TimingSweepPlan returns the plan of a figure's timing sweep — the
+// simple model's Figure 7 cells or the detailed model's Figure 8 cells
+// under opt — without running anything. Shard processes and merge tools
+// use its fingerprint and cell list (via destset.SweepPlan.Manifest) to
+// agree on the cell index space.
+func TimingSweepPlan(opt Options, cpu destset.CPUModel) (*destset.SweepPlan, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	runner, _, _, err := opt.timingRunner(cpu, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	return runner.Plan()
+}
+
+// TimingSweep executes shard shard of shards of a figure's timing sweep
+// (shards <= 1 runs everything), streaming each completed cell to
+// opt.TimingObserver and returning the raw results in global plan
+// order. It is the sharded-execution entry point behind
+// cmd/timing -json -shard; unlike Figure7/Figure8 it performs no panel
+// assembly, since a shard does not hold the normalization anchors of
+// every workload.
+func TimingSweep(ctx context.Context, opt Options, cpu destset.CPUModel, shard, shards int) ([]destset.TimingResult, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	runner, _, _, err := opt.timingRunner(cpu, shard, shards)
+	if err != nil {
+		return nil, err
+	}
+	return runner.Run(ctx)
+}
+
+// runTimingAll executes every configuration over every workload through
+// one TimingRunner and normalizes each workload's panel as the paper
+// does (runtime to directory, traffic to snooping). One runner means
+// one worker pool for the whole figure — per-protocol and per-workload
+// cells interleave freely, every cell replays its shared dataset
+// zero-copy — and one plan, so the figure is shardable. Honors ctx.
+func runTimingAll(ctx context.Context, opt Options, cpu destset.CPUModel) ([]WorkloadTiming, error) {
+	runner, specs, names, err := opt.timingRunner(cpu, 0, 0)
+	if err != nil {
+		return nil, err
+	}
 	res, err := runner.Run(ctx)
 	if err != nil {
-		return WorkloadTiming{}, err
+		return nil, err
 	}
-	if len(res) != len(specs) {
-		return WorkloadTiming{}, fmt.Errorf("experiments: timing sweep returned %d cells, want %d", len(res), len(specs))
+	if len(res) != len(specs)*len(names) {
+		return nil, fmt.Errorf("experiments: timing sweep returned %d cells, want %d", len(res), len(specs)*len(names))
 	}
-	wt := WorkloadTiming{Workload: name, Points: make([]TimingPoint, len(res))}
-	var dirRuntime, snoopTraffic float64
-	for i, r := range res {
-		wt.Points[i] = TimingPoint{
-			Config:       r.Config,
-			RuntimeNs:    r.Result.RuntimeNs,
-			BytesPerMiss: r.Result.BytesPerMiss(),
-			AvgLatencyNs: r.Result.AvgMissLatencyNs,
+	out := make([]WorkloadTiming, len(names))
+	for wi, name := range names {
+		cells := res[wi*len(specs) : (wi+1)*len(specs)]
+		wt := WorkloadTiming{Workload: name, Points: make([]TimingPoint, len(cells))}
+		var dirRuntime, snoopTraffic float64
+		for i, r := range cells {
+			wt.Points[i] = TimingPoint{
+				Config:       r.Config,
+				RuntimeNs:    r.Result.RuntimeNs,
+				BytesPerMiss: r.Result.BytesPerMiss(),
+				AvgLatencyNs: r.Result.AvgMissLatencyNs,
+			}
+			switch specs[i].Protocol {
+			case destset.ProtocolDirectory:
+				dirRuntime = r.Result.RuntimeNs
+			case destset.ProtocolSnooping:
+				snoopTraffic = r.Result.BytesPerMiss()
+			}
 		}
-		switch specs[i].Protocol {
-		case destset.ProtocolDirectory:
-			dirRuntime = r.Result.RuntimeNs
-		case destset.ProtocolSnooping:
-			snoopTraffic = r.Result.BytesPerMiss()
+		for i := range wt.Points {
+			if dirRuntime > 0 {
+				wt.Points[i].NormRuntime = 100 * wt.Points[i].RuntimeNs / dirRuntime
+			}
+			if snoopTraffic > 0 {
+				wt.Points[i].NormTraffic = 100 * wt.Points[i].BytesPerMiss / snoopTraffic
+			}
 		}
+		out[wi] = wt
 	}
-	for i := range wt.Points {
-		if dirRuntime > 0 {
-			wt.Points[i].NormRuntime = 100 * wt.Points[i].RuntimeNs / dirRuntime
-		}
-		if snoopTraffic > 0 {
-			wt.Points[i].NormTraffic = 100 * wt.Points[i].BytesPerMiss / snoopTraffic
-		}
-	}
-	return wt, nil
+	return out, nil
 }
 
 // Figure7 reproduces the simple-processor-model runtime results for all
@@ -173,19 +256,7 @@ func Figure7(ctx context.Context, opt Options) ([]WorkloadTiming, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	params, err := opt.workloads()
-	if err != nil {
-		return nil, err
-	}
-	out := make([]WorkloadTiming, 0, len(params))
-	for _, p := range params {
-		wt, err := runTiming(ctx, opt, p.Name, destset.SimpleCPU)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, wt)
-	}
-	return out, nil
+	return runTimingAll(ctx, opt, destset.SimpleCPU)
 }
 
 // Figure8Workloads are the three workloads the paper ran under the
@@ -197,17 +268,5 @@ func Figure8(ctx context.Context, opt Options) ([]WorkloadTiming, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	names := opt.Workloads
-	if len(names) == 0 {
-		names = Figure8Workloads
-	}
-	out := make([]WorkloadTiming, 0, len(names))
-	for _, n := range names {
-		wt, err := runTiming(ctx, opt, n, destset.DetailedCPU)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, wt)
-	}
-	return out, nil
+	return runTimingAll(ctx, opt, destset.DetailedCPU)
 }

@@ -1,0 +1,139 @@
+package sweep
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testPlan(n int) *Plan {
+	cells := make([]CellID, n)
+	for i := range cells {
+		cells[i] = CellID{
+			Engine:      fmt.Sprintf("e%d", i%3),
+			Workload:    fmt.Sprintf("w%d", i/3),
+			Seed:        uint64(i),
+			Fingerprint: Fingerprint("cell", fmt.Sprint(i)),
+		}
+	}
+	return NewPlan(cells)
+}
+
+func TestFingerprintStability(t *testing.T) {
+	if Fingerprint("a", "b") != Fingerprint("a", "b") {
+		t.Error("identical inputs produced different fingerprints")
+	}
+	if Fingerprint("a", "b") == Fingerprint("ab") {
+		t.Error("part boundaries alias: Fingerprint(a,b) == Fingerprint(ab)")
+	}
+	if Fingerprint("a", "b") == Fingerprint("b", "a") {
+		t.Error("fingerprint ignores order")
+	}
+	// Pinned value: the fingerprint is part of the on-disk manifest
+	// contract shared by independent processes; changing the scheme
+	// must be a deliberate act.
+	if got := Fingerprint("x"); got != "f91b14e7bbea4c5bfa0e1a7040177166" {
+		t.Errorf("Fingerprint(\"x\") = %q; the scheme changed — shard manifests from older builds will no longer merge", got)
+	}
+}
+
+func TestPlanFingerprintCoversCells(t *testing.T) {
+	a, b := testPlan(6), testPlan(6)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical plans have different fingerprints")
+	}
+	if testPlan(5).Fingerprint() == a.Fingerprint() {
+		t.Error("plans of different length share a fingerprint")
+	}
+	cells := append([]CellID(nil), a.Cells()...)
+	cells[0], cells[1] = cells[1], cells[0]
+	if NewPlan(cells).Fingerprint() == a.Fingerprint() {
+		t.Error("reordered plan shares a fingerprint")
+	}
+}
+
+func TestShardIndices(t *testing.T) {
+	// Unsharded configs (0/0 and anything with shards <= 1) select all.
+	for _, n := range []int{0, 1} {
+		idx, err := ShardIndices(5, 0, n)
+		if err != nil || len(idx) != 5 {
+			t.Fatalf("ShardIndices(5, 0, %d) = (%v, %v)", n, idx, err)
+		}
+	}
+	// Every split partitions [0, total) exactly, round-robin.
+	for _, total := range []int{0, 1, 7, 12} {
+		for shards := 1; shards <= 5; shards++ {
+			seen := make(map[int]int)
+			for s := 0; s < shards; s++ {
+				idx, err := ShardIndices(total, s, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prev := -1
+				for _, i := range idx {
+					if i <= prev {
+						t.Fatalf("shard %d/%d of %d not increasing: %v", s, shards, total, idx)
+					}
+					prev = i
+					seen[i]++
+				}
+			}
+			if len(seen) != total {
+				t.Fatalf("%d shards of %d cover %d cells", shards, total, len(seen))
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("cell %d owned by %d shards", i, c)
+				}
+			}
+		}
+	}
+	for _, bad := range [][2]int{{-1, 2}, {2, 2}, {5, 2}, {1, 1}, {3, 0}, {-1, 0}} {
+		if _, err := ShardIndices(10, bad[0], bad[1]); err == nil {
+			t.Errorf("ShardIndices(10, %d, %d) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+func TestMergeShardsInvertsSharding(t *testing.T) {
+	for _, total := range []int{0, 1, 9, 10} {
+		full := make([]int, total)
+		for i := range full {
+			full[i] = 100 + i
+		}
+		for shards := 1; shards <= 4; shards++ {
+			parts := make([][]int, shards)
+			for s := 0; s < shards; s++ {
+				idx, _ := ShardIndices(total, s, shards)
+				for _, i := range idx {
+					parts[s] = append(parts[s], full[i])
+				}
+			}
+			merged, err := MergeShards(total, parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range full {
+				if merged[i] != full[i] {
+					t.Fatalf("total %d, %d shards: merged[%d] = %d, want %d", total, shards, i, merged[i], full[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMergeShardsRejectsBadInputs(t *testing.T) {
+	if _, err := MergeShards[int](4, nil); err == nil {
+		t.Error("no shards accepted")
+	}
+	// Wrong per-shard count (shard 0 of 2 over 4 cells owns 2).
+	if _, err := MergeShards(4, [][]int{{1}, {2, 3}}); err == nil {
+		t.Error("short shard accepted")
+	}
+	if _, err := MergeShards(4, [][]int{{1, 2, 3}, {4, 5}}); err == nil {
+		t.Error("long shard accepted")
+	}
+	// Too few shards for the plan.
+	if _, err := MergeShards(4, [][]int{{1, 2}}); err == nil {
+		t.Error("single half-plan shard accepted as a full merge")
+	}
+}

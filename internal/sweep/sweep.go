@@ -101,6 +101,10 @@ type Config struct {
 	// Observe, when non-nil, receives every observation. Calls are
 	// serialized; the observer need not be concurrency-safe.
 	Observe func(Observation)
+	// Shard and Shards restrict the run to shard Shard of Shards of the
+	// plan's cell index space (see ShardIndices). Shards <= 1 runs every
+	// cell.
+	Shard, Shards int
 }
 
 func (c Config) seeds() []uint64 {
@@ -125,14 +129,18 @@ const ctxCheckStride = 2048
 type cell struct {
 	engine   Engine
 	workload Workload
+	wi       int // workload index, for prewarm bookkeeping
 	seed     uint64
 }
 
-// Run executes the full cross-product and returns results ordered
-// workload-major: for each workload, for each engine, for each seed.
-// On cancellation it returns the completed cells (still in order)
-// together with the context's error; cells in flight are abandoned
-// promptly. Any cell construction or stream error aborts the run.
+// Run executes the cross-product — or, when cfg selects a shard, that
+// shard's subset of it — and returns results ordered workload-major: for
+// each workload, for each engine, for each seed. A sharded run returns
+// its subset's results in the same global order, so MergeShards
+// reassembles the exact full-run slice. On cancellation it returns the
+// completed cells (still in order) together with the context's error;
+// cells in flight are abandoned promptly. Any cell construction or
+// stream error aborts the run.
 func Run(ctx context.Context, engines []Engine, workloads []Workload, cfg Config) ([]Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -142,19 +150,28 @@ func Run(ctx context.Context, engines []Engine, workloads []Workload, cfg Config
 	}
 	seeds := cfg.seeds()
 	cells := make([]cell, 0, len(engines)*len(workloads)*len(seeds))
-	for _, w := range workloads {
+	for wi, w := range workloads {
 		for _, e := range engines {
 			for _, s := range seeds {
-				cells = append(cells, cell{engine: e, workload: w, seed: s})
+				cells = append(cells, cell{engine: e, workload: w, wi: wi, seed: s})
 			}
 		}
 	}
+	subset, err := ShardIndices(len(cells), cfg.Shard, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
 
-	// Prewarm phase: materialize every shared stream source once per
-	// (workload, seed) before any cell runs. Without it, the first cells
-	// of each workload would race to open the same source and all but
-	// one worker would idle behind the winner's generation.
-	err := Prewarm(ctx, cfg.parallelism(), len(workloads), seeds,
+	// Prewarm phase: materialize every shared stream source this shard's
+	// cells will open — once per (workload, seed) — before any cell runs.
+	// Without it, the first cells of each workload would race to open the
+	// same source and all but one worker would idle behind the winner's
+	// generation. Restricting the jobs to the shard's subset keeps shard
+	// processes from generating datasets only other shards replay.
+	jobs := PrewarmJobsFor(subset, func(i int) PrewarmJob {
+		return PrewarmJob{W: cells[i].wi, Seed: cells[i].seed}
+	})
+	err = Prewarm(ctx, cfg.parallelism(), jobs,
 		func(w int) func(uint64) error { return workloads[w].Prepare },
 		func(w int) string { return workloads[w].Name })
 	if err != nil {
@@ -172,50 +189,49 @@ func Run(ctx context.Context, engines []Engine, workloads []Workload, cfg Config
 		}
 	}
 
-	return Collect(ctx, len(cells), cfg.parallelism(), func(ctx context.Context, i int) (*Result, error) {
+	return Collect(ctx, subset, cfg.parallelism(), func(ctx context.Context, i int) (*Result, error) {
 		return runCell(ctx, cells[i], cfg.Interval, observe)
 	})
 }
 
-// Prewarm materializes every (workload, seed) shared stream source
-// across the worker pool before a sweep's cells run: for each workload
-// index w in [0, workloads) whose prepare(w) hook is non-nil, it calls
-// the hook once per seed. Both the trace-driven Run above and the
-// facade's timing runner front their cells with it, so expensive
-// one-time generation fans out instead of serializing the first cells
-// that race to open the same source.
-func Prewarm(ctx context.Context, parallelism, workloads int, seeds []uint64, prepare func(w int) func(seed uint64) error, name func(w int) string) error {
-	type job struct {
-		w    int
-		seed uint64
-	}
-	var jobs []job
-	for w := 0; w < workloads; w++ {
-		if prepare(w) == nil {
-			continue
+// PrewarmJob names one (workload index, seed) stream source to
+// materialize ahead of a sweep's cells.
+type PrewarmJob struct {
+	W    int
+	Seed uint64
+}
+
+// Prewarm materializes shared stream sources across the worker pool
+// before a sweep's cells run: for each job whose prepare(job.W) hook is
+// non-nil, it calls the hook with the job's seed. Both the trace-driven
+// Run above and the facade's timing runner front their cells with it, so
+// expensive one-time generation fans out instead of serializing the
+// first cells that race to open the same source.
+func Prewarm(ctx context.Context, parallelism int, jobs []PrewarmJob, prepare func(w int) func(seed uint64) error, name func(w int) string) error {
+	live := jobs[:0:0]
+	for _, j := range jobs {
+		if prepare(j.W) != nil {
+			live = append(live, j)
 		}
-		for _, s := range seeds {
-			jobs = append(jobs, job{w: w, seed: s})
-		}
 	}
-	if len(jobs) == 0 {
+	if len(live) == 0 {
 		return nil
 	}
-	return ForEach(ctx, len(jobs), parallelism, func(i int) error {
-		j := jobs[i]
-		if err := prepare(j.w)(j.seed); err != nil {
-			return fmt.Errorf("sweep: workload %q: %w", name(j.w), err)
+	return ForEach(ctx, len(live), parallelism, func(i int) error {
+		j := live[i]
+		if err := prepare(j.W)(j.Seed); err != nil {
+			return fmt.Errorf("sweep: workload %q: %w", name(j.W), err)
 		}
 		return nil
 	})
 }
 
-// Collect runs fn for every cell index in [0, n) across a worker pool
-// of the given size (<=0 means GOMAXPROCS), writes each result into a
-// slot indexed by the cell, and returns the completed results compacted
-// in index order. It is the deterministic-ordering engine behind every
-// runner: the trace-driven sweep above and the facade's timing runner
-// both feed their cells through it.
+// Collect is the plan executor behind every runner: it runs fn for each
+// global cell index in cells — the full plan or any shard's subset —
+// across a worker pool of the given size (<=0 means GOMAXPROCS), writes
+// each result into the slot of the cell's position in cells, and returns
+// the completed results compacted in that order. The trace-driven sweep
+// above and the facade's timing runner both feed their cells through it.
 //
 // fn receives a derived context that Collect cancels on the first cell
 // error, so long-running in-flight cells that honor it abort promptly —
@@ -224,19 +240,19 @@ func Prewarm(ctx context.Context, parallelism, workloads int, seeds []uint64, pr
 // caller's ctx or a failing cell — Collect still returns every
 // completed cell, in order, together with the first real error (or the
 // context's).
-func Collect[T any](ctx context.Context, n, parallelism int, fn func(ctx context.Context, i int) (*T, error)) ([]T, error) {
+func Collect[T any](ctx context.Context, cells []int, parallelism int, fn func(ctx context.Context, i int) (*T, error)) ([]T, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	slots := make([]*T, n)
+	slots := make([]*T, len(cells))
 	var (
 		firstErr error
 		errOnce  sync.Once
 	)
-	_ = ForEach(ctx, n, parallelism, func(i int) error {
-		res, err := fn(ctx, i)
+	_ = ForEach(ctx, len(cells), parallelism, func(k int) error {
+		res, err := fn(ctx, cells[k])
 		if err != nil {
 			// A cell failing only because the sweep is already cancelled
 			// is a victim, not the cause; keep the first real error.
@@ -246,7 +262,7 @@ func Collect[T any](ctx context.Context, n, parallelism int, fn func(ctx context
 			cancel()
 			return nil
 		}
-		slots[i] = res
+		slots[k] = res
 		return nil
 	})
 	out := make([]T, 0, len(slots))

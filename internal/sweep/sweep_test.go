@@ -245,7 +245,7 @@ func TestCollectFailFastCancelsInflightCells(t *testing.T) {
 	// the derived context cancel and abort instead of running out its
 	// full (effectively unbounded) loop.
 	aborted := make(chan struct{})
-	res, err := Collect(context.Background(), 2, 2, func(ctx context.Context, i int) (*int, error) {
+	res, err := Collect(context.Background(), []int{0, 1}, 2, func(ctx context.Context, i int) (*int, error) {
 		if i == 0 {
 			return nil, errors.New("boom")
 		}
@@ -273,7 +273,7 @@ func TestCollectFailFastCancelsInflightCells(t *testing.T) {
 }
 
 func TestCollectOrderAndSkippedSlots(t *testing.T) {
-	res, err := Collect(context.Background(), 5, 3, func(_ context.Context, i int) (*int, error) {
+	res, err := Collect(context.Background(), []int{0, 1, 2, 3, 4}, 3, func(_ context.Context, i int) (*int, error) {
 		if i == 2 {
 			return nil, nil // abandoned slot
 		}

@@ -2,6 +2,7 @@ package destset
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -83,40 +84,314 @@ func (o *JSONLObserver) Close() error {
 	return o.err
 }
 
+// ManifestFormat identifies a shard-manifest record; it is the value of
+// the record's "format" field, which no observation record carries.
+const ManifestFormat = "destset/shard-manifest"
+
+// ManifestVersion is the current shard-manifest record version.
+const ManifestVersion = 1
+
+// ShardManifest is the first record of a shard's JSONL observation
+// file: which plan the shard belongs to (by fingerprint and full cell
+// list), which shard of how many it is, and which kind of observations
+// follow. MergeObservations uses it to reassemble shard files into the
+// full-run stream — and to refuse files from different plans.
+type ShardManifest struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// Kind is PlanKindTrace or PlanKindTiming.
+	Kind string `json:"kind"`
+	// Plan is the sweep plan's fingerprint (SweepPlan.Fingerprint).
+	Plan string `json:"plan"`
+	// Shard and Shards name the subset this file holds (see WithShard).
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Cells is the full plan's cell list in execution order — identical
+	// across every shard of one sweep.
+	Cells []PlanCell `json:"cells"`
+}
+
+// WriteManifest writes a shard-manifest record. Call it once, before
+// the sweep runs, so the manifest is the file's first record; readers
+// (EachObservation and friends) skip it transparently.
+func (o *JSONLObserver) WriteManifest(m ShardManifest) error {
+	o.write(m)
+	return o.err
+}
+
+// manifestToken is the byte sequence every manifest record contains, as
+// json.Marshal renders ShardManifest.Format. Scanning for it first
+// keeps the per-record manifest check O(n) byte search instead of a
+// second JSON parse of every observation line.
+var manifestToken = []byte(`"format":"` + ManifestFormat + `"`)
+
+// isManifest reports whether a raw JSON line is a shard-manifest record.
+func isManifest(raw []byte) bool {
+	if !bytes.Contains(raw, manifestToken) {
+		return false
+	}
+	var probe struct {
+		Format string `json:"format"`
+	}
+	return json.Unmarshal(raw, &probe) == nil && probe.Format == ManifestFormat
+}
+
+// eachLine reads r line by line with no line-length cap — a shard
+// manifest embeds the plan's full cell list and can outgrow any fixed
+// scanner buffer — calling fn with each non-empty line's 1-based number
+// and content (line terminator stripped). fn's error stops the scan.
+func eachLine(r io.Reader, fn func(line int, raw []byte) error) error {
+	br := bufio.NewReaderSize(r, 64*1024)
+	line := 0
+	for {
+		raw, err := br.ReadBytes('\n')
+		if len(raw) > 0 {
+			line++
+			raw = bytes.TrimSuffix(raw, []byte("\n"))
+			raw = bytes.TrimSuffix(raw, []byte("\r"))
+			if len(raw) > 0 {
+				if ferr := fn(line, raw); ferr != nil {
+					return ferr
+				}
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
 // ReadObservations decodes a JSON Lines observation stream, as written
-// by JSONLObserver, back into observations. Blank lines are skipped; a
-// malformed line fails with its 1-based line number.
+// by JSONLObserver, back into observations. Shard-manifest records and
+// blank lines are skipped; a malformed line fails with its 1-based line
+// number.
 func ReadObservations(r io.Reader) ([]Observation, error) {
-	return readJSONL[Observation](r)
+	var out []Observation
+	err := EachObservation(r, func(o Observation) error {
+		out = append(out, o)
+		return nil
+	})
+	return out, err
 }
 
 // ReadTimingObservations decodes a JSON Lines timing-observation stream,
 // as written by JSONLObserver.ObserveTiming, back into observations.
 func ReadTimingObservations(r io.Reader) ([]TimingObservation, error) {
-	return readJSONL[TimingObservation](r)
+	var out []TimingObservation
+	err := EachTimingObservation(r, func(o TimingObservation) error {
+		out = append(out, o)
+		return nil
+	})
+	return out, err
 }
 
-// readJSONL decodes one homogeneous JSON Lines stream. Blank lines are
-// skipped; a malformed line fails with its 1-based line number.
-func readJSONL[T any](r io.Reader) ([]T, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	var out []T
-	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
+// EachObservation streams a JSON Lines observation file record by
+// record: fn is called once per observation, in file order, without the
+// file ever being materialized — the constant-memory reader for sweeps
+// whose observation logs outgrow RAM. Shard-manifest records and blank
+// lines are skipped. A malformed line fails with its 1-based line
+// number; an error from fn stops the scan and is returned as-is.
+func EachObservation(r io.Reader, fn func(Observation) error) error {
+	return eachJSONL(r, fn)
+}
+
+// EachTimingObservation streams a JSON Lines timing-observation file
+// record by record, in file order; see EachObservation.
+func EachTimingObservation(r io.Reader, fn func(TimingObservation) error) error {
+	return eachJSONL(r, fn)
+}
+
+// eachJSONL streams one homogeneous JSON Lines stream through fn,
+// skipping blank lines and shard-manifest records.
+func eachJSONL[T any](r io.Reader, fn func(T) error) error {
+	return eachLine(r, func(line int, raw []byte) error {
+		if isManifest(raw) {
+			return nil
 		}
 		var obs T
 		if err := json.Unmarshal(raw, &obs); err != nil {
-			return out, fmt.Errorf("destset: observation line %d: %w", line, err)
+			return fmt.Errorf("destset: observation line %d: %w", line, err)
 		}
-		out = append(out, obs)
+		return fn(obs)
+	})
+}
+
+// shardFile is one parsed shard input: its manifest and its raw
+// observation lines (verbatim, without trailing newlines).
+type shardFile struct {
+	manifest ShardManifest
+	records  [][]byte
+}
+
+// readShardFile parses one shard JSONL file: the first record must be a
+// shard manifest; the rest are kept as raw lines so merging re-emits
+// them byte-for-byte.
+func readShardFile(r io.Reader) (shardFile, error) {
+	var f shardFile
+	sawManifest := false
+	err := eachLine(r, func(line int, raw []byte) error {
+		if !sawManifest {
+			if !isManifest(raw) {
+				return fmt.Errorf("line %d: first record is not a shard manifest (was this file written with a sharded -json run?)", line)
+			}
+			if err := json.Unmarshal(raw, &f.manifest); err != nil {
+				return fmt.Errorf("line %d: decoding shard manifest: %w", line, err)
+			}
+			if f.manifest.Version != ManifestVersion {
+				return fmt.Errorf("line %d: shard manifest version %d, want %d", line, f.manifest.Version, ManifestVersion)
+			}
+			sawManifest = true
+			return nil
+		}
+		if isManifest(raw) {
+			return fmt.Errorf("line %d: second shard manifest in one file", line)
+		}
+		f.records = append(f.records, append([]byte(nil), raw...))
+		return nil
+	})
+	if err != nil {
+		return f, err
 	}
-	if err := sc.Err(); err != nil {
-		return out, fmt.Errorf("destset: reading observations: %w", err)
+	if !sawManifest {
+		return f, fmt.Errorf("no shard manifest found")
 	}
-	return out, nil
+	return f, nil
+}
+
+// obsProbe decodes the cell-identifying fields common to both
+// observation kinds: trace observations carry Engine, timing
+// observations carry Sim.
+type obsProbe struct {
+	Engine   string `json:"Engine"`
+	Sim      string `json:"Sim"`
+	Workload string `json:"Workload"`
+	Seed     uint64 `json:"Seed"`
+}
+
+// obsCellKey is a cell's identity as observation records name it.
+type obsCellKey struct {
+	label    string
+	workload string
+	seed     uint64
+}
+
+// MergeObservations merges per-shard JSONL observation files — each
+// beginning with a ShardManifest, as cmd/timing and cmd/traceeval write
+// under -json -shard — into the full-run observation stream on w: one
+// merged manifest (shard 0 of 1) followed by every input record,
+// verbatim, reordered into the plan's deterministic cell order (records
+// of one cell keep their relative order). It refuses inputs whose plan
+// fingerprints differ, whose shard set does not cover the plan exactly,
+// or whose records name cells outside the plan — merging files from
+// different sweeps is an error, not a silent mix. The merged output is
+// byte-identical to what the unsharded run writes at parallelism 1.
+func MergeObservations(w io.Writer, shards ...io.Reader) error {
+	if len(shards) == 0 {
+		return fmt.Errorf("destset: no shard files to merge")
+	}
+	files := make([]shardFile, len(shards))
+	for i, r := range shards {
+		f, err := readShardFile(r)
+		if err != nil {
+			return fmt.Errorf("destset: shard input %d: %w", i, err)
+		}
+		files[i] = f
+	}
+	head := files[0].manifest
+	seen := make(map[int]bool, len(files))
+	for i, f := range files {
+		m := f.manifest
+		if m.Plan != head.Plan {
+			return fmt.Errorf("destset: shard input %d has plan fingerprint %s, input 0 has %s — refusing to merge different sweeps",
+				i, m.Plan, head.Plan)
+		}
+		if m.Kind != head.Kind || m.Shards != head.Shards || len(m.Cells) != len(head.Cells) {
+			return fmt.Errorf("destset: shard input %d manifest (kind %s, %d shards, %d cells) does not match input 0 (kind %s, %d shards, %d cells)",
+				i, m.Kind, m.Shards, len(m.Cells), head.Kind, head.Shards, len(head.Cells))
+		}
+		if m.Shard < 0 || m.Shard >= m.Shards {
+			return fmt.Errorf("destset: shard input %d claims shard %d of %d", i, m.Shard, m.Shards)
+		}
+		if seen[m.Shard] {
+			return fmt.Errorf("destset: shard %d/%d supplied twice", m.Shard, m.Shards)
+		}
+		seen[m.Shard] = true
+	}
+	if len(seen) != head.Shards {
+		missing := make([]int, 0, head.Shards-len(seen))
+		for s := 0; s < head.Shards; s++ {
+			if !seen[s] {
+				missing = append(missing, s)
+			}
+		}
+		return fmt.Errorf("destset: merge needs all %d shards of the plan; missing %v", head.Shards, missing)
+	}
+
+	// Bucket every record by its cell, preserving per-cell file order
+	// (one cell's records never span shards, and within its shard they
+	// are already chronological).
+	cellIndex := make(map[obsCellKey]int, len(head.Cells))
+	for i, c := range head.Cells {
+		key := obsCellKey{label: c.Engine, workload: c.Workload, seed: c.Seed}
+		if _, dup := cellIndex[key]; dup {
+			return fmt.Errorf("destset: plan has two cells labeled (%s, %s, seed %d); records cannot be attributed — give the specs distinct labels",
+				c.Engine, c.Workload, c.Seed)
+		}
+		cellIndex[key] = i
+	}
+	buckets := make([][][]byte, len(head.Cells))
+	for i, f := range files {
+		for _, raw := range f.records {
+			var p obsProbe
+			if err := json.Unmarshal(raw, &p); err != nil {
+				return fmt.Errorf("destset: shard input %d: undecodable record: %w", i, err)
+			}
+			label := p.Engine
+			if head.Kind == PlanKindTiming {
+				label = p.Sim
+			}
+			ci, ok := cellIndex[obsCellKey{label: label, workload: p.Workload, seed: p.Seed}]
+			if !ok {
+				return fmt.Errorf("destset: shard input %d has a record for cell (%s, %s, seed %d) that is not in the plan",
+					i, label, p.Workload, p.Seed)
+			}
+			buckets[ci] = append(buckets[ci], raw)
+		}
+	}
+
+	// Every plan cell must have produced at least one record; a cell
+	// with none means a shard was interrupted mid-sweep and its file,
+	// though manifest-valid, is incomplete — merging it would fabricate
+	// a "full run" with holes (the in-process Merge rejects the same
+	// situation by per-shard result counts).
+	for i, bucket := range buckets {
+		if len(bucket) == 0 {
+			c := head.Cells[i]
+			return fmt.Errorf("destset: cell %d (%s, %s, seed %d) has no records — incomplete shard file (interrupted run?)",
+				i, c.Engine, c.Workload, c.Seed)
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	merged := head
+	merged.Shard, merged.Shards = 0, 1
+	raw, err := json.Marshal(merged)
+	if err != nil {
+		return fmt.Errorf("destset: encoding merged manifest: %w", err)
+	}
+	bw.Write(raw)
+	bw.WriteByte('\n')
+	for _, bucket := range buckets {
+		for _, rec := range bucket {
+			bw.Write(rec)
+			bw.WriteByte('\n')
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("destset: writing merged observations: %w", err)
+	}
+	return nil
 }

@@ -45,7 +45,10 @@ type runnerConfig struct {
 	measure     int
 	interval    int
 	parallelism int
-	observer    Observer
+	// shard/shards restrict a run to one shard of the plan's cell index
+	// space; shards <= 1 runs everything.
+	shard, shards int
+	observer      Observer
 	// timingObserver streams per-cell timing observations; it is only
 	// consulted by the TimingRunner (see WithTimingObserver).
 	timingObserver TimingObserver
@@ -90,6 +93,17 @@ func WithParallelism(n int) RunnerOption {
 // runs.
 func WithObserver(fn Observer) RunnerOption {
 	return func(c *runnerConfig) { c.observer = fn }
+}
+
+// WithShard restricts the run to shard shard of shards of the sweep's
+// cell index space (round-robin over the plan's deterministic cell
+// order), so independent processes can split one sweep: give each
+// process the same specs and options plus its own WithShard(i, n), and
+// reassemble the full-run result with Merge (in-process) or
+// MergeObservations / cmd/sweepmerge (JSONL files). shards <= 1
+// restores the default full run. Out-of-range shards fail at Run.
+func WithShard(shard, shards int) RunnerOption {
+	return func(c *runnerConfig) { c.shard, c.shards = shard, shards }
 }
 
 // WithContext sets the context used when Run is called with a nil
@@ -137,9 +151,11 @@ func NewRunner(engines []EngineSpec, workloads []WorkloadSpec, opts ...RunnerOpt
 
 // Run executes the sweep and returns one RunResult per cell, ordered
 // workload-major: for each workload, for each engine, for each seed.
-// A nil ctx falls back to WithContext, then context.Background(). On
-// cancellation Run returns promptly with the completed cells (still in
-// order) and the context's error.
+// Under WithShard only that shard's cells run; the results keep the
+// global order, so Merge reassembles shard outputs into the exact
+// full-run slice. A nil ctx falls back to WithContext, then
+// context.Background(). On cancellation Run returns promptly with the
+// completed cells (still in order) and the context's error.
 func (r *Runner) Run(ctx context.Context) ([]RunResult, error) {
 	if ctx == nil {
 		ctx = r.cfg.ctx
@@ -174,6 +190,8 @@ func (r *Runner) Run(ctx context.Context) ([]RunResult, error) {
 		Parallelism: r.cfg.parallelism,
 		Interval:    r.cfg.interval,
 		Observe:     observe,
+		Shard:       r.cfg.shard,
+		Shards:      r.cfg.shards,
 	})
 	out := make([]RunResult, len(results))
 	for i, res := range results {

@@ -234,19 +234,7 @@ func (w WorkloadSpec) label() string {
 // starts.
 func (w WorkloadSpec) resolve(defaultWarm, defaultMeasure int) (sweep.Workload, error) {
 	// 0 inherits the runner default; negative means "explicitly none".
-	warm, measure := w.Warm, w.Measure
-	if warm == 0 {
-		warm = defaultWarm
-	}
-	if measure == 0 {
-		measure = defaultMeasure
-	}
-	if warm < 0 {
-		warm = 0
-	}
-	if measure < 0 {
-		measure = 0
-	}
+	warm, measure := scaleOf(w.Warm, w.Measure, defaultWarm, defaultMeasure)
 	sw := sweep.Workload{Name: w.label(), Warm: warm, Measure: measure, Nodes: w.Nodes}
 	switch {
 	case w.Open != nil:

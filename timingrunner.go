@@ -65,19 +65,8 @@ type timingWorkload struct {
 // are drained once per cell into materialized traces, since the timing
 // simulator needs random access for its reorder-buffer window.
 func (w WorkloadSpec) resolveTiming(defaultWarm, defaultMeasure int) (timingWorkload, error) {
-	warm, measure := w.Warm, w.Measure
-	if warm == 0 {
-		warm = defaultWarm
-	}
-	if measure == 0 {
-		measure = defaultMeasure
-	}
-	if warm < 0 {
-		warm = 0
-	}
-	if measure < 0 {
-		measure = 0
-	}
+	// 0 inherits the runner default; negative means "explicitly none".
+	warm, measure := scaleOf(w.Warm, w.Measure, defaultWarm, defaultMeasure)
 	if measure == 0 {
 		return timingWorkload{}, fmt.Errorf("destset: timing workload %q needs measured misses", w.label())
 	}
@@ -203,10 +192,13 @@ type timingCell struct {
 
 // Run executes the sweep and returns one TimingResult per cell, ordered
 // workload-major: for each workload, for each sim spec, for each seed.
-// A nil ctx falls back to WithContext, then context.Background(). On
-// cancellation Run returns promptly with the completed cells (still in
-// order) and the context's error; the execution-driven cells themselves
-// check the context, so even a single huge simulation aborts promptly.
+// Under WithShard only that shard's cells run; the results keep the
+// global order, so Merge reassembles shard outputs into the exact
+// full-run slice. A nil ctx falls back to WithContext, then
+// context.Background(). On cancellation Run returns promptly with the
+// completed cells (still in order) and the context's error; the
+// execution-driven cells themselves check the context, so even a single
+// huge simulation aborts promptly.
 func (r *TimingRunner) Run(ctx context.Context) ([]TimingResult, error) {
 	if ctx == nil {
 		ctx = r.cfg.ctx
@@ -238,11 +230,19 @@ func (r *TimingRunner) Run(ctx context.Context) ([]TimingResult, error) {
 			}
 		}
 	}
+	subset, err := sweep.ShardIndices(len(cells), r.cfg.shard, r.cfg.shards)
+	if err != nil {
+		return nil, err
+	}
 
-	// Prewarm phase: materialize every shared dataset once per
-	// (workload, seed) before any cell runs, so generation fans out over
-	// the pool instead of serializing the first cells of each workload.
-	err := sweep.Prewarm(ctx, r.cfg.parallelism, len(workloads), r.cfg.seeds,
+	// Prewarm phase: materialize every shared dataset this shard's cells
+	// replay — once per (workload, seed) — before any cell runs, so
+	// generation fans out over the pool instead of serializing the first
+	// cells of each workload.
+	jobs := sweep.PrewarmJobsFor(subset, func(i int) sweep.PrewarmJob {
+		return sweep.PrewarmJob{W: cells[i].wi, Seed: cells[i].seed}
+	})
+	err = sweep.Prewarm(ctx, r.cfg.parallelism, jobs,
 		func(w int) func(uint64) error { return workloads[w].prepare },
 		func(w int) string { return workloads[w].name })
 	if err != nil {
@@ -251,7 +251,7 @@ func (r *TimingRunner) Run(ctx context.Context) ([]TimingResult, error) {
 
 	var obsMu sync.Mutex
 	observe := r.cfg.timingObserver
-	return sweep.Collect(ctx, len(cells), r.cfg.parallelism, func(ctx context.Context, i int) (*TimingResult, error) {
+	return sweep.Collect(ctx, subset, r.cfg.parallelism, func(ctx context.Context, i int) (*TimingResult, error) {
 		c := cells[i]
 		spec, w := r.sims[c.si], workloads[c.wi]
 		cfg, err := spec.Resolve(w.nodes)
