@@ -13,9 +13,15 @@ package destset_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
 	"testing"
+	"time"
 
+	"destset"
 	"destset/internal/dataset"
+	"destset/internal/distrib"
 	"destset/internal/experiments"
 	"destset/internal/nodeset"
 	"destset/internal/predictor"
@@ -314,6 +320,68 @@ func BenchmarkTraceEncodeDecode(b *testing.B) {
 		}
 		if got.Len() != tr.Len() {
 			b.Fatal("length mismatch")
+		}
+	}
+}
+
+// BenchmarkLeaseDispatch measures the distributed coordinator's
+// lease/complete round trip — the protocol hot path every worker drives
+// between cells — over real HTTP on an in-memory listener: per
+// iteration, one lease grant (queue pop, deadline stamp) plus one
+// single-cell record upload (streamed parse, cell attribution, commit).
+func BenchmarkLeaseDispatch(b *testing.B) {
+	seeds := make([]uint64, b.N)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	def := destset.NewTimingSweepDef(
+		[]destset.SimSpec{{Protocol: destset.ProtocolSnooping}},
+		[]destset.WorkloadSpec{{Name: "oltp", Warm: 100, Measure: 100}},
+		destset.WithSeeds(seeds...),
+	)
+	coord, err := distrib.NewCoordinator(distrib.Config{Def: def, LeaseTTL: time.Minute})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := distrib.NewMemListener()
+	srv := &http.Server{Handler: distrib.NewHandler(coord)}
+	go srv.Serve(l)
+	defer srv.Close()
+	client := l.Client()
+	plan := coord.Plan()
+	leaseBody, err := json.Marshal(map[string]string{"worker": "bench", "plan": plan.Fingerprint()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	completeURL := "http://coordinator/v1/complete?lease=%s&worker=bench&plan=" + plan.Fingerprint()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post("http://coordinator/v1/lease", "application/json", bytes.NewReader(leaseBody))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var reply distrib.LeaseReply
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if reply.Lease == nil {
+			b.Fatalf("iteration %d: no lease (reply %+v)", i, reply)
+		}
+		cell := plan.Cell(reply.Lease.Lo)
+		rec := fmt.Sprintf("{\"Sim\":%q,\"Workload\":%q,\"Seed\":%d}\n", cell.Engine, cell.Workload, cell.Seed)
+		resp, err = client.Post(fmt.Sprintf(completeURL, reply.Lease.ID), "application/x-ndjson", bytes.NewReader([]byte(rec)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cr distrib.CompleteReply
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if !cr.Accepted {
+			b.Fatalf("iteration %d: completion not accepted (%+v)", i, cr)
 		}
 	}
 }

@@ -14,15 +14,24 @@
 // verbatim, reordered into the plan's deterministic cell order, and is
 // byte-identical to the file an unsharded `-json -parallel 1` run
 // writes.
+//
+// Ctrl-C cancels the merge at the next safe point (a second Ctrl-C
+// terminates immediately), and file output is atomic (written to a temp
+// file, renamed on success), so an interrupted merge never leaves a
+// torn output file behind.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"destset"
+	"destset/internal/atomicfile"
 )
 
 func main() {
@@ -32,13 +41,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: sweepmerge [-o merged.jsonl] shard0.jsonl shard1.jsonl ...")
 		os.Exit(2)
 	}
-	if err := merge(*out, flag.Args()); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// MergeObservations itself is not cancellable mid-flight, so re-arm
+	// default signal handling once the context fires: the first Ctrl-C
+	// cancels before the output rename, a second one terminates
+	// immediately.
+	context.AfterFunc(ctx, stop)
+
+	if err := merge(ctx, *out, flag.Args()); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "sweepmerge: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "sweepmerge:", err)
 		os.Exit(1)
 	}
 }
 
-func merge(out string, paths []string) (err error) {
+func merge(ctx context.Context, out string, paths []string) error {
 	readers := make([]io.Reader, len(paths))
 	for i, path := range paths {
 		f, err := os.Open(path)
@@ -48,18 +70,10 @@ func merge(out string, paths []string) (err error) {
 		defer f.Close()
 		readers[i] = f
 	}
-	var w io.Writer = os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
-			return err
-		}
-		w = f
-		defer func() {
-			if cerr := f.Close(); cerr != nil && err == nil {
-				err = cerr
-			}
-		}()
+	if out == "" {
+		return destset.MergeObservations(os.Stdout, readers...)
 	}
-	return destset.MergeObservations(w, readers...)
+	return atomicfile.Write(ctx, out, func(w io.Writer) error {
+		return destset.MergeObservations(w, readers...)
+	})
 }

@@ -19,14 +19,23 @@
 // -legacy writes the original records-only binary trace format
 // (trace.Writer), which carries no annotations. -summarize auto-detects
 // either format.
+//
+// Ctrl-C cancels a run at the next safe point (a second Ctrl-C
+// terminates immediately), and file output is atomic (written to a temp
+// file, renamed on success), so an interrupted generation never leaves
+// a torn output file behind.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
+	"destset/internal/atomicfile"
 	"destset/internal/dataset"
 	"destset/internal/trace"
 	"destset/internal/workload"
@@ -44,44 +53,53 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// The columnar generation itself is not cancellable mid-flight, so
+	// re-arm default signal handling once the context fires: the first
+	// Ctrl-C cancels at the next safe point (before any file is
+	// written), a second one terminates immediately.
+	context.AfterFunc(ctx, stop)
+
+	fail := func(err error) {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "tracegen: interrupted")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+
 	if *summarize != "" {
 		if err := summary(*summarize); err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}
 	var err error
 	if *legacy {
-		err = generateLegacy(*name, *seed, *misses, *out)
+		err = generateLegacy(ctx, *name, *seed, *misses, *out)
 	} else {
-		err = generate(*name, *seed, *warmN, *misses, *out)
+		err = generate(ctx, *name, *seed, *warmN, *misses, *out)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		fail(err)
 	}
 }
 
-// withOutput runs fn with the output writer (stdout or a created file).
-func withOutput(out string, fn func(io.Writer) error) error {
+// withOutput runs fn with the output writer: stdout, or an atomically
+// written file (temp + rename, see internal/atomicfile) so an
+// interrupted or failed run never leaves a torn file.
+func withOutput(ctx context.Context, out string, fn func(io.Writer) error) error {
 	if out == "" {
 		return fn(os.Stdout)
 	}
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	if err := fn(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicfile.Write(ctx, out, fn)
 }
 
 // generate writes the full columnar dataset: trace plus coherence
 // annotations and block statistics, warm and measured regions.
-func generate(name string, seed uint64, warm, misses int, out string) error {
+func generate(ctx context.Context, name string, seed uint64, warm, misses int, out string) error {
 	params, err := workload.Preset(name, seed)
 	if err != nil {
 		return err
@@ -90,7 +108,10 @@ func generate(name string, seed uint64, warm, misses int, out string) error {
 	if err != nil {
 		return err
 	}
-	err = withOutput(out, func(w io.Writer) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	err = withOutput(ctx, out, func(w io.Writer) error {
 		_, err := ds.WriteTo(w)
 		return err
 	})
@@ -102,8 +123,12 @@ func generate(name string, seed uint64, warm, misses int, out string) error {
 	return nil
 }
 
+// ctxCheckStride bounds how many records the legacy path writes between
+// cancellation checks.
+const ctxCheckStride = 4096
+
 // generateLegacy writes the original records-only binary trace format.
-func generateLegacy(name string, seed uint64, misses int, out string) error {
+func generateLegacy(ctx context.Context, name string, seed uint64, misses int, out string) error {
 	params, err := workload.Preset(name, seed)
 	if err != nil {
 		return err
@@ -112,12 +137,17 @@ func generateLegacy(name string, seed uint64, misses int, out string) error {
 	if err != nil {
 		return err
 	}
-	err = withOutput(out, func(w io.Writer) error {
+	err = withOutput(ctx, out, func(w io.Writer) error {
 		tw, err := trace.NewWriter(w, params.Nodes)
 		if err != nil {
 			return err
 		}
 		for i := 0; i < misses; i++ {
+			if i%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			rec, _ := g.Next()
 			if err := tw.Write(rec); err != nil {
 				return err

@@ -1,0 +1,40 @@
+// Package atomicfile writes whole files atomically: content goes to a
+// temp file in the destination directory and is renamed over the target
+// only when the writer — and the caller's context — succeeded. An
+// interrupted or failed run therefore leaves no torn output behind,
+// just nothing (the temp file is removed on every non-success path).
+// The cmds producing output files (tracegen, sweepmerge, sweepd) all
+// write through it.
+package atomicfile
+
+import (
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Write streams fn's output into path atomically. The rename is skipped
+// — and the temp file removed — when fn fails or ctx is already
+// cancelled by the time fn returns; a nil ctx skips the cancellation
+// check.
+func Write(ctx context.Context, path string, fn func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := fn(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,646 @@
+// Package distrib turns a sweep definition into a network service: a
+// coordinator that owns the sweep plan and a fleet of workers that lease
+// cell ranges from it over HTTP/JSON, execute them through the ordinary
+// facade runners, and stream the resulting JSONL observation records
+// back.
+//
+// The protocol leans entirely on the plan invariants PR 4 established:
+// every party computes the plan from the same serializable SweepDef
+// (destset.SweepDef), so the plan fingerprint is the handshake — a
+// worker presenting a different fingerprint is refused, never silently
+// mixed in — and cell indices are a shared address space, so a lease is
+// just a range [lo, hi) of plan indices. Leases carry deadlines renewed
+// by heartbeats; a worker that dies or goes silent loses its lease and
+// the range is re-queued for another worker (preferring one that has not
+// already failed it). Double completions — a slow worker finishing after
+// its expired lease was re-run elsewhere — are deduplicated
+// deterministically: the first valid completion of a range wins and
+// later ones are acknowledged but discarded. When every cell is
+// complete, the coordinator reassembles the per-lease record streams
+// with destset.MergeObservations into a single plan-ordered JSONL file
+// byte-identical to what the same sweep writes in one process at
+// parallelism 1 — the invariant that makes the whole service testable
+// end to end.
+package distrib
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"destset"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrPlanMismatch means a request presented a plan fingerprint other
+	// than the coordinator's — a worker built from a different sweep
+	// definition (or binary). Refused, never reconciled.
+	ErrPlanMismatch = errors.New("distrib: plan fingerprint mismatch")
+	// ErrUnknownLease means a request named a lease id this coordinator
+	// never granted.
+	ErrUnknownLease = errors.New("distrib: unknown lease")
+	// ErrLeaseGone means the lease existed but is no longer current: it
+	// expired and its range was re-queued (and possibly re-leased).
+	ErrLeaseGone = errors.New("distrib: lease no longer current")
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Def is the sweep to distribute. It must validate, and — like any
+	// serializable def — carry only Name- or Params-based workloads.
+	Def destset.SweepDef
+	// ChunkSize is how many consecutive plan cells one lease covers;
+	// <= 0 means 1. Smaller chunks retry at finer granularity, larger
+	// ones amortize the per-lease round trip.
+	ChunkSize int
+	// LeaseTTL is how long a lease lives without a heartbeat; <= 0 means
+	// 30s. Workers heartbeat at TTL/3.
+	LeaseTTL time.Duration
+	// MaxAttempts bounds how often one range may be granted before the
+	// coordinator declares the sweep failed; <= 0 means 5.
+	MaxAttempts int
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+	// Logf, when non-nil, receives live progress lines (grants,
+	// completions, expirations).
+	Logf func(format string, args ...any)
+}
+
+// taskState is one lease range's lifecycle position.
+type taskState uint8
+
+const (
+	taskPending taskState = iota // queued, waiting for a worker
+	taskLeased                   // granted, deadline running
+	taskDone                     // first valid completion accepted
+)
+
+// task is one contiguous range of plan cell indices [lo, hi) — the unit
+// of leasing, retry and completion.
+type task struct {
+	lo, hi   int
+	state    taskState
+	attempts int // grants so far
+	// leaseID/worker/deadline describe the current grant (state
+	// taskLeased).
+	leaseID  string
+	worker   string
+	deadline time.Time
+	// lastFailed is the worker whose lease over this range last expired
+	// or failed; re-grants prefer a different worker.
+	lastFailed string
+	// records are the accepted completion's raw JSONL observation lines.
+	records [][]byte
+}
+
+// cellKey is a cell's identity as observation records name it.
+type cellKey struct {
+	label    string
+	workload string
+	seed     uint64
+}
+
+// Coordinator owns one sweep: the plan, the lease queue and the accepted
+// results. All methods are safe for concurrent use; the HTTP handlers in
+// server.go are thin wrappers over them.
+type Coordinator struct {
+	cfg      Config
+	def      destset.SweepDef
+	plan     *destset.SweepPlan
+	datasets []destset.SweepDataset
+	cells    map[cellKey]int // cell identity -> plan index
+
+	mu      sync.Mutex
+	tasks   []*task
+	pending []int // task indices, front = next granted
+	// leased holds the currently-granted task indices, so lazy expiry
+	// scans O(outstanding leases), not O(all tasks).
+	leased      map[int]bool
+	leases      map[string]int // lease id -> task index, kept for the sweep's lifetime
+	nextLease   int
+	doneTasks   int
+	doneCells   int
+	leasedCells int
+	failed      error
+	done        chan struct{} // closed when all tasks complete or the sweep fails
+	workers     map[string]time.Time
+}
+
+// NewCoordinator validates the definition, computes the plan and splits
+// it into lease ranges. It fails on defs whose cells are not uniquely
+// labeled — observation records name cells by (label, workload, seed),
+// and ambiguous labels would make uploads unattributable, exactly as
+// MergeObservations refuses them.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 1
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	plan, err := cfg.Def.Plan()
+	if err != nil {
+		return nil, err
+	}
+	datasets, err := cfg.Def.Datasets()
+	if err != nil {
+		return nil, err
+	}
+	cells := make(map[cellKey]int, plan.Len())
+	for i, c := range plan.Cells() {
+		key := cellKey{label: c.Engine, workload: c.Workload, seed: c.Seed}
+		if _, dup := cells[key]; dup {
+			return nil, fmt.Errorf("distrib: plan has two cells labeled (%s, %s, seed %d); give the specs distinct labels",
+				c.Engine, c.Workload, c.Seed)
+		}
+		cells[key] = i
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		def:      cfg.Def,
+		plan:     plan,
+		datasets: datasets,
+		cells:    cells,
+		leased:   make(map[int]bool),
+		leases:   make(map[string]int),
+		done:     make(chan struct{}),
+		workers:  make(map[string]time.Time),
+	}
+	for lo := 0; lo < plan.Len(); lo += cfg.ChunkSize {
+		hi := lo + cfg.ChunkSize
+		if hi > plan.Len() {
+			hi = plan.Len()
+		}
+		c.pending = append(c.pending, len(c.tasks))
+		c.tasks = append(c.tasks, &task{lo: lo, hi: hi})
+	}
+	return c, nil
+}
+
+// logf emits one progress line when a logger is configured.
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Plan returns the coordinator's sweep plan.
+func (c *Coordinator) Plan() *destset.SweepPlan { return c.plan }
+
+// SweepInfo is the handshake payload: everything a worker needs to
+// reconstruct the sweep and verify it agrees with the coordinator.
+type SweepInfo struct {
+	// Plan is the coordinator's plan fingerprint; a worker recomputes it
+	// from Def and must present it on every subsequent request.
+	Plan string `json:"plan"`
+	// Kind is destset.PlanKindTrace or destset.PlanKindTiming.
+	Kind string `json:"kind"`
+	// Cells and Tasks size the sweep.
+	Cells int `json:"cells"`
+	Tasks int `json:"tasks"`
+	// LeaseTTLMs is the lease deadline in milliseconds; workers
+	// heartbeat at a third of it.
+	LeaseTTLMs int64 `json:"lease_ttl_ms"`
+	// Def is the serializable sweep definition.
+	Def destset.SweepDef `json:"def"`
+	// Datasets pre-announces the shared datasets the sweep replays, so
+	// workers pointed at a warm dataset directory resolve them all
+	// before leasing any cells.
+	Datasets []destset.SweepDataset `json:"datasets,omitempty"`
+}
+
+// Info returns the handshake payload.
+func (c *Coordinator) Info() SweepInfo {
+	return SweepInfo{
+		Plan:       c.plan.Fingerprint(),
+		Kind:       c.def.Kind,
+		Cells:      c.plan.Len(),
+		Tasks:      len(c.tasks),
+		LeaseTTLMs: c.cfg.LeaseTTL.Milliseconds(),
+		Def:        c.def,
+		Datasets:   c.datasets,
+	}
+}
+
+// Lease is one granted cell range.
+type Lease struct {
+	ID string `json:"id"`
+	// Lo and Hi bound the plan cell indices [Lo, Hi) this lease covers.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// TTLMs is how long the lease lives without a heartbeat.
+	TTLMs int64 `json:"ttl_ms"`
+}
+
+// LeaseReply is the lease endpoint's response: a grant, "nothing to
+// grant right now, poll again", "the sweep is done", or "the sweep
+// failed".
+type LeaseReply struct {
+	Done   bool   `json:"done,omitempty"`
+	Failed string `json:"failed,omitempty"`
+	Lease  *Lease `json:"lease,omitempty"`
+}
+
+// checkPlan refuses requests from workers on a different plan.
+func (c *Coordinator) checkPlan(planFP string) error {
+	if planFP != c.plan.Fingerprint() {
+		return fmt.Errorf("%w: request presented %q, coordinator serves %q",
+			ErrPlanMismatch, planFP, c.plan.Fingerprint())
+	}
+	return nil
+}
+
+// expireLocked re-queues every leased range whose deadline has passed.
+// Expiry is lazy — evaluated on each lease/progress call — so the
+// coordinator needs no background timer; idle-polling workers drive it.
+// The scan covers only the currently-leased set (bounded by the fleet
+// size), not the whole task list.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for i := range c.leased {
+		t := c.tasks[i]
+		if now.After(t.deadline) {
+			c.logf("lease %s (worker %s) expired; requeued cells [%d,%d) after %d attempt(s)",
+				t.leaseID, t.worker, t.lo, t.hi, t.attempts)
+			t.lastFailed = t.worker
+			c.requeueLocked(i)
+		}
+	}
+}
+
+// requeueLocked returns a leased range to the front of the queue, so
+// retries run before untouched work.
+func (c *Coordinator) requeueLocked(ti int) {
+	t := c.tasks[ti]
+	t.state = taskPending
+	t.leaseID, t.worker, t.deadline = "", "", time.Time{}
+	delete(c.leased, ti)
+	c.leasedCells -= t.hi - t.lo
+	c.pending = append([]int{ti}, c.pending...)
+}
+
+// failLocked marks the whole sweep failed and releases waiters.
+func (c *Coordinator) failLocked(err error) {
+	if c.failed == nil {
+		c.failed = err
+		c.logf("sweep failed: %v", err)
+		close(c.done)
+	}
+}
+
+// Lease grants the requesting worker the next pending cell range. A nil
+// Lease with Done false means nothing is grantable right now (everything
+// is leased out) — poll again. Re-grants of a failed range prefer a
+// worker other than the one that last failed it when any other pending
+// work exists.
+func (c *Coordinator) Lease(worker, planFP string) (LeaseReply, error) {
+	if err := c.checkPlan(planFP); err != nil {
+		return LeaseReply{}, err
+	}
+	if worker == "" {
+		return LeaseReply{}, fmt.Errorf("distrib: lease request needs a worker name")
+	}
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[worker] = now
+	if c.failed != nil {
+		return LeaseReply{Failed: c.failed.Error()}, nil
+	}
+	c.expireLocked(now)
+	if c.doneTasks == len(c.tasks) {
+		return LeaseReply{Done: true}, nil
+	}
+	if len(c.pending) == 0 {
+		return LeaseReply{}, nil
+	}
+	// Mild anti-affinity: skip ranges this worker already failed when
+	// something else is pending.
+	pick := 0
+	for i, ti := range c.pending {
+		if c.tasks[ti].lastFailed != worker {
+			pick = i
+			break
+		}
+	}
+	ti := c.pending[pick]
+	c.pending = append(c.pending[:pick], c.pending[pick+1:]...)
+	t := c.tasks[ti]
+	if t.attempts >= c.cfg.MaxAttempts {
+		c.failLocked(fmt.Errorf("distrib: cells [%d,%d) failed %d attempts (last worker %s)",
+			t.lo, t.hi, t.attempts, t.lastFailed))
+		return LeaseReply{Failed: c.failed.Error()}, nil
+	}
+	t.attempts++
+	t.state = taskLeased
+	t.worker = worker
+	t.deadline = now.Add(c.cfg.LeaseTTL)
+	c.leased[ti] = true
+	c.leasedCells += t.hi - t.lo
+	c.nextLease++
+	t.leaseID = fmt.Sprintf("lease-%d", c.nextLease)
+	c.leases[t.leaseID] = ti
+	c.logf("%s: cells [%d,%d) -> worker %s (attempt %d)", t.leaseID, t.lo, t.hi, worker, t.attempts)
+	return LeaseReply{Lease: &Lease{ID: t.leaseID, Lo: t.lo, Hi: t.hi, TTLMs: c.cfg.LeaseTTL.Milliseconds()}}, nil
+}
+
+// Heartbeat extends a current lease's deadline. ErrLeaseGone means the
+// lease expired and was re-queued — the worker should abandon the range.
+func (c *Coordinator) Heartbeat(leaseID, worker, planFP string) error {
+	if err := c.checkPlan(planFP); err != nil {
+		return err
+	}
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[worker] = now
+	ti, ok := c.leases[leaseID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownLease, leaseID)
+	}
+	t := c.tasks[ti]
+	if t.state != taskLeased || t.leaseID != leaseID || now.After(t.deadline) {
+		return fmt.Errorf("%w: %s over cells [%d,%d)", ErrLeaseGone, leaseID, t.lo, t.hi)
+	}
+	t.deadline = now.Add(c.cfg.LeaseTTL)
+	return nil
+}
+
+// Fail reports a lease the worker could not complete; its range is
+// re-queued immediately instead of waiting out the deadline. Stale
+// lease ids (already expired, already completed) are acknowledged
+// silently — the queue has moved on.
+func (c *Coordinator) Fail(leaseID, worker, planFP, reason string) error {
+	if err := c.checkPlan(planFP); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[worker] = c.cfg.Now()
+	ti, ok := c.leases[leaseID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownLease, leaseID)
+	}
+	t := c.tasks[ti]
+	if t.state == taskLeased && t.leaseID == leaseID {
+		c.logf("%s: worker %s failed cells [%d,%d): %s", leaseID, worker, t.lo, t.hi, reason)
+		t.lastFailed = worker
+		c.requeueLocked(ti)
+	}
+	return nil
+}
+
+// obsProbe decodes the cell-identifying fields of either observation
+// kind: trace records carry Engine, timing records carry Sim. It
+// mirrors the unexported probe destset.MergeObservations uses
+// (jsonl.go) — the two must agree on the record wire format, a contract
+// the byte-identity tests (distributed output vs local run) pin: a
+// divergence misattributes uploads and fails the diff.
+type obsProbe struct {
+	Engine   string `json:"Engine"`
+	Sim      string `json:"Sim"`
+	Workload string `json:"Workload"`
+	Seed     uint64 `json:"Seed"`
+}
+
+// CompleteReply reports what happened to an uploaded completion.
+type CompleteReply struct {
+	// Accepted means this upload is the range's accepted result.
+	Accepted bool `json:"accepted"`
+	// Duplicate means the range was already completed (first complete
+	// wins); the upload was read and discarded.
+	Duplicate bool `json:"duplicate,omitempty"`
+	// DoneCells and Done report sweep progress after this completion.
+	DoneCells int  `json:"done_cells"`
+	Done      bool `json:"done"`
+}
+
+// Complete uploads a lease's JSONL observation records: the request body
+// is streamed line by line, each record attributed to its plan cell and
+// checked against the lease's range, and the range's cells must all be
+// covered — a partial stream (an interrupted worker flushing what it
+// had) is rejected and the range re-queued. The first valid completion
+// of a range wins, whether or not its lease is still current: a worker
+// finishing just after its lease expired still contributes, and the
+// re-granted duplicate is discarded on arrival.
+func (c *Coordinator) Complete(leaseID, worker, planFP string, body io.Reader) (CompleteReply, error) {
+	if err := c.checkPlan(planFP); err != nil {
+		return CompleteReply{}, err
+	}
+	c.mu.Lock()
+	c.workers[worker] = c.cfg.Now()
+	ti, ok := c.leases[leaseID]
+	if !ok {
+		c.mu.Unlock()
+		return CompleteReply{}, fmt.Errorf("%w: %q", ErrUnknownLease, leaseID)
+	}
+	t := c.tasks[ti]
+	if t.state == taskDone {
+		reply := CompleteReply{Duplicate: true, DoneCells: c.doneCells, Done: c.doneTasks == len(c.tasks)}
+		c.mu.Unlock()
+		io.Copy(io.Discard, body)
+		return reply, nil
+	}
+	lo, hi := t.lo, t.hi
+	c.mu.Unlock()
+
+	// Parse outside the lock: uploads may be large and slow, and other
+	// workers must keep leasing meanwhile. Racing completions for the
+	// same range serialize at the commit below; the first one in wins.
+	records, err := c.readRecords(lo, hi, body)
+	if err != nil {
+		// The upload was unusable; put the range back in play if this
+		// lease still holds it.
+		c.Fail(leaseID, worker, planFP, err.Error())
+		return CompleteReply{}, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.state == taskDone {
+		return CompleteReply{Duplicate: true, DoneCells: c.doneCells, Done: c.doneTasks == len(c.tasks)}, nil
+	}
+	switch t.state {
+	case taskPending:
+		// Expired and re-queued but not re-granted: withdraw it.
+		for i, pi := range c.pending {
+			if pi == ti {
+				c.pending = append(c.pending[:i], c.pending[i+1:]...)
+				break
+			}
+		}
+	case taskLeased:
+		delete(c.leased, ti)
+		c.leasedCells -= t.hi - t.lo
+	}
+	t.state = taskDone
+	t.records = records
+	t.leaseID, t.worker, t.deadline = "", "", time.Time{}
+	c.doneTasks++
+	c.doneCells += hi - lo
+	c.logf("%s: worker %s completed cells [%d,%d) — %d/%d cells done",
+		leaseID, worker, lo, hi, c.doneCells, c.plan.Len())
+	done := c.doneTasks == len(c.tasks)
+	if done && c.failed == nil {
+		close(c.done)
+	}
+	return CompleteReply{Accepted: true, DoneCells: c.doneCells, Done: done}, nil
+}
+
+// readRecords streams one upload, attributing every line to a plan cell
+// and requiring the lease's range [lo, hi) to be exactly covered: no
+// foreign cells, no holes.
+func (c *Coordinator) readRecords(lo, hi int, body io.Reader) ([][]byte, error) {
+	covered := make(map[int]bool, hi-lo)
+	var records [][]byte
+	br := bufio.NewReaderSize(body, 64*1024)
+	line := 0
+	for {
+		raw, err := br.ReadBytes('\n')
+		if len(raw) > 0 {
+			line++
+			raw = bytes.TrimSuffix(raw, []byte("\n"))
+			raw = bytes.TrimSuffix(raw, []byte("\r"))
+			if len(raw) > 0 {
+				var p obsProbe
+				if jerr := json.Unmarshal(raw, &p); jerr != nil {
+					return nil, fmt.Errorf("distrib: upload line %d: %w", line, jerr)
+				}
+				label := p.Engine
+				if c.def.Kind == destset.PlanKindTiming {
+					label = p.Sim
+				}
+				ci, ok := c.cells[cellKey{label: label, workload: p.Workload, seed: p.Seed}]
+				if !ok {
+					return nil, fmt.Errorf("distrib: upload line %d names cell (%s, %s, seed %d) not in the plan",
+						line, label, p.Workload, p.Seed)
+				}
+				if ci < lo || ci >= hi {
+					return nil, fmt.Errorf("distrib: upload line %d names cell %d outside the leased range [%d,%d)",
+						line, ci, lo, hi)
+				}
+				covered[ci] = true
+				records = append(records, append([]byte(nil), raw...))
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("distrib: reading upload: %w", err)
+		}
+	}
+	if len(covered) != hi-lo {
+		return nil, fmt.Errorf("distrib: upload covers %d of %d leased cells — incomplete run", len(covered), hi-lo)
+	}
+	return records, nil
+}
+
+// Progress is a point-in-time view of the sweep, served live at
+// /v1/progress.
+type Progress struct {
+	Plan         string `json:"plan"`
+	Kind         string `json:"kind"`
+	Cells        int    `json:"cells"`
+	DoneCells    int    `json:"done_cells"`
+	LeasedCells  int    `json:"leased_cells"`
+	PendingCells int    `json:"pending_cells"`
+	// Workers counts workers seen within the last two lease TTLs.
+	Workers int    `json:"workers"`
+	Done    bool   `json:"done"`
+	Failed  string `json:"failed,omitempty"`
+}
+
+// Progress reports the sweep's live state (and lazily expires overdue
+// leases while at it).
+func (c *Coordinator) Progress() Progress {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	p := Progress{
+		Plan:         c.plan.Fingerprint(),
+		Kind:         c.def.Kind,
+		Cells:        c.plan.Len(),
+		DoneCells:    c.doneCells,
+		LeasedCells:  c.leasedCells,
+		PendingCells: c.plan.Len() - c.doneCells - c.leasedCells,
+		Done:         c.doneTasks == len(c.tasks),
+	}
+	horizon := now.Add(-2 * c.cfg.LeaseTTL)
+	for _, seen := range c.workers {
+		if seen.After(horizon) {
+			p.Workers++
+		}
+	}
+	if c.failed != nil {
+		p.Failed = c.failed.Error()
+	}
+	return p
+}
+
+// Wait blocks until every cell is complete, the sweep fails, or ctx
+// ends. With no workers polling, expired leases are only noticed when
+// the next request arrives — Wait itself never times a lease out.
+func (c *Coordinator) Wait(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-c.done:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failed
+}
+
+// WriteMerged reassembles the accepted per-lease record streams into the
+// full-run JSONL observation file on w — one merged manifest followed by
+// every record in plan order, byte-identical to the file the same sweep
+// writes in one process at parallelism 1. It reuses
+// destset.MergeObservations: the accepted records are presented as one
+// manifest-headed shard (one manifest total, so the merge stays linear
+// in the record count), and the merge re-validates cell coverage and
+// plan membership end to end before a byte is written.
+func (c *Coordinator) WriteMerged(w io.Writer) error {
+	c.mu.Lock()
+	if c.failed != nil {
+		c.mu.Unlock()
+		return c.failed
+	}
+	if c.doneTasks != len(c.tasks) {
+		c.mu.Unlock()
+		return fmt.Errorf("distrib: sweep incomplete (%d/%d ranges done)", c.doneTasks, len(c.tasks))
+	}
+	// Snapshot the accepted record lists under the lock; they are
+	// immutable once a range completes, so the merge itself runs with
+	// the protocol unblocked.
+	total := 1
+	for _, t := range c.tasks {
+		total += len(t.records)
+	}
+	parts := make([][]byte, 0, total)
+	manifest, err := json.Marshal(c.plan.Manifest(0, 1))
+	if err != nil {
+		c.mu.Unlock()
+		return fmt.Errorf("distrib: encoding merged manifest: %w", err)
+	}
+	parts = append(parts, manifest)
+	for _, t := range c.tasks {
+		parts = append(parts, t.records...)
+	}
+	c.mu.Unlock()
+	stream := io.MultiReader(bytes.NewReader(bytes.Join(parts, []byte("\n"))), bytes.NewReader([]byte("\n")))
+	return destset.MergeObservations(w, stream)
+}

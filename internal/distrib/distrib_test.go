@@ -1,0 +1,534 @@
+package distrib_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"destset"
+	"destset/internal/distrib"
+)
+
+// timingDef is a small execution-driven sweep: 2 sims × 1 workload × 2
+// seeds = 4 cells.
+func timingDef() destset.SweepDef {
+	return destset.NewTimingSweepDef(
+		[]destset.SimSpec{
+			{Protocol: destset.ProtocolSnooping},
+			{Protocol: destset.ProtocolDirectory},
+		},
+		[]destset.WorkloadSpec{{Name: "oltp", Warm: 300, Measure: 300}},
+		destset.WithSeeds(1, 2),
+	)
+}
+
+// traceDef is a small trace-driven sweep with interval observations, so
+// cells emit multiple records: 2 engines × 1 workload × 2 seeds = 4
+// cells, 3 records each.
+func traceDef() destset.SweepDef {
+	return destset.NewTraceSweepDef(
+		[]destset.EngineSpec{
+			{Protocol: destset.ProtocolSnooping},
+			destset.SpecForPolicy(destset.OwnerGroup),
+		},
+		[]destset.WorkloadSpec{{Name: "ocean", Warm: 200, Measure: 600}},
+		destset.WithSeeds(1, 2),
+		destset.WithInterval(200),
+	)
+}
+
+// localJSONL runs the def in-process at parallelism 1 — the reference
+// stream every distributed run must reproduce byte for byte.
+func localJSONL(t *testing.T, def destset.SweepDef) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := destset.NewJSONLObserver(&buf)
+	plan, err := def.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.WriteManifest(plan.Manifest(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	opts := []destset.RunnerOption{destset.WithParallelism(1)}
+	if def.Kind == destset.PlanKindTiming {
+		r, err := def.TimingRunner(append(opts, destset.WithTimingObserver(sink.ObserveTiming))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		r, err := def.Runner(append(opts, destset.WithObserver(sink.Observe))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// serve starts a coordinator over an in-memory listener and returns it
+// with an HTTP client dialing it.
+func serve(t *testing.T, cfg distrib.Config) (*distrib.Coordinator, *http.Client) {
+	t.Helper()
+	coord, err := distrib.NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := distrib.NewMemListener()
+	srv := &http.Server{Handler: distrib.NewHandler(coord)}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close(); l.Close() })
+	return coord, l.Client()
+}
+
+// rawLease takes a lease over raw HTTP — the tests' stand-in for a
+// worker that then dies without completing or heartbeating.
+func rawLease(t *testing.T, client *http.Client, worker, plan string) distrib.LeaseReply {
+	t.Helper()
+	body, _ := json.Marshal(map[string]string{"worker": worker, "plan": plan})
+	resp, err := client.Post("http://coordinator/v1/lease", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lease status = %s", resp.Status)
+	}
+	var reply distrib.LeaseReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	return reply
+}
+
+// TestDistributedTimingSweepByteIdenticalWithRetry is the acceptance
+// check end to end: a coordinator plus two workers — with one induced
+// worker failure (a leased range abandoned without heartbeats, expiring
+// and re-queued) — produce JSONL output byte-identical to the same
+// sweep run in one process.
+func TestDistributedTimingSweepByteIdenticalWithRetry(t *testing.T) {
+	def := timingDef()
+	want := localJSONL(t, def)
+	plan, err := def.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, client := serve(t, distrib.Config{
+		Def:      def,
+		LeaseTTL: 500 * time.Millisecond,
+		Logf:     t.Logf,
+	})
+
+	// Induced failure: "doomed" leases a range and dies — no heartbeat,
+	// no completion. The lease must expire and the range be re-run by a
+	// healthy worker.
+	reply := rawLease(t, client, "doomed", plan.Fingerprint())
+	if reply.Lease == nil {
+		t.Fatal("doomed worker got no lease")
+	}
+	abandoned := *reply.Lease
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	stats := make([]distrib.WorkerStats, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stats[i], errs[i] = distrib.RunWorker(ctx, distrib.WorkerConfig{
+				URL:          "http://coordinator",
+				Client:       client,
+				Name:         fmt.Sprintf("w%d", i),
+				Parallelism:  1,
+				PollInterval: 20 * time.Millisecond,
+				Logf:         t.Logf,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The abandoned range was completed by a real worker, not lost.
+	cells := stats[0].Cells + stats[1].Cells
+	if cells != plan.Len() {
+		t.Errorf("workers completed %d cells, plan has %d (abandoned lease [%d,%d) not retried?)",
+			cells, plan.Len(), abandoned.Lo, abandoned.Hi)
+	}
+	p := coord.Progress()
+	if !p.Done || p.DoneCells != plan.Len() {
+		t.Errorf("progress = %+v, want done with %d cells", p, plan.Len())
+	}
+
+	var got bytes.Buffer
+	if err := coord.WriteMerged(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("distributed output differs from in-process run:\n--- distributed\n%s\n--- local\n%s", got.Bytes(), want)
+	}
+}
+
+// TestDistributedTraceSweepByteIdentical covers the trace-driven kind,
+// whose cells stream multiple interval records, with a chunked lease
+// covering several cells and a parallel worker.
+func TestDistributedTraceSweepByteIdentical(t *testing.T) {
+	def := traceDef()
+	want := localJSONL(t, def)
+
+	coord, client := serve(t, distrib.Config{
+		Def:       def,
+		ChunkSize: 3,
+		LeaseTTL:  time.Second,
+		Logf:      t.Logf,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if _, err := distrib.RunWorker(ctx, distrib.WorkerConfig{
+		URL:          "http://coordinator",
+		Client:       client,
+		Name:         "solo",
+		Parallelism:  4,
+		PollInterval: 20 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := coord.WriteMerged(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Error("distributed trace output differs from in-process run")
+	}
+}
+
+// TestCoordinatorRefusesMismatchedPlan pins the handshake contract: a
+// request presenting any plan fingerprint but the coordinator's own is
+// 409 Conflict, and a worker pinned to a different plan refuses locally.
+func TestCoordinatorRefusesMismatchedPlan(t *testing.T) {
+	_, client := serve(t, distrib.Config{Def: timingDef()})
+
+	body, _ := json.Marshal(map[string]string{"worker": "evil", "plan": "bogus"})
+	resp, err := client.Post("http://coordinator/v1/lease", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("mismatched-plan lease status = %s, want 409", resp.Status)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, werr := distrib.RunWorker(ctx, distrib.WorkerConfig{
+		URL:        "http://coordinator",
+		Client:     client,
+		Name:       "pinned",
+		ExpectPlan: "someotherplan",
+	})
+	if werr == nil || !strings.Contains(werr.Error(), "plan fingerprint mismatch") {
+		t.Errorf("pinned worker error = %v, want plan fingerprint mismatch", werr)
+	}
+}
+
+// testClock is a settable coordinator clock.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// cellRecords runs the def locally and returns each cell's raw JSONL
+// record lines, keyed by plan index — upload bodies for driving the
+// coordinator API directly.
+func cellRecords(t *testing.T, def destset.SweepDef) map[int][]string {
+	t.Helper()
+	plan, err := def.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	index := make(map[string]int, plan.Len())
+	for i, c := range plan.Cells() {
+		index[fmt.Sprintf("%s|%s|%d", c.Engine, c.Workload, c.Seed)] = i
+	}
+	out := make(map[int][]string)
+	for _, line := range strings.Split(strings.TrimSpace(string(localJSONL(t, def))), "\n") {
+		var probe struct {
+			Format   string `json:"format"`
+			Engine   string `json:"Engine"`
+			Sim      string `json:"Sim"`
+			Workload string `json:"Workload"`
+			Seed     uint64 `json:"Seed"`
+		}
+		if err := json.Unmarshal([]byte(line), &probe); err != nil {
+			t.Fatal(err)
+		}
+		if probe.Format != "" {
+			continue // manifest
+		}
+		label := probe.Engine
+		if def.Kind == destset.PlanKindTiming {
+			label = probe.Sim
+		}
+		i, ok := index[fmt.Sprintf("%s|%s|%d", label, probe.Workload, probe.Seed)]
+		if !ok {
+			t.Fatalf("record for unknown cell: %s", line)
+		}
+		out[i] = append(out[i], line)
+	}
+	return out
+}
+
+// TestFirstCompleteWinsAfterExpiry drives the coordinator API through
+// the late-completion race: a lease expires, its range is re-granted,
+// and then the original worker's upload arrives first — it wins, and the
+// re-run's upload is acknowledged as a duplicate and discarded.
+func TestFirstCompleteWinsAfterExpiry(t *testing.T) {
+	def := timingDef()
+	records := cellRecords(t, def)
+	clock := &testClock{now: time.Unix(1_700_000_000, 0)}
+	coord, err := distrib.NewCoordinator(distrib.Config{
+		Def:      def,
+		LeaseTTL: time.Second,
+		Now:      clock.Now,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _ := def.Plan()
+	fp := plan.Fingerprint()
+
+	reply, err := coord.Lease("slow", fp)
+	if err != nil || reply.Lease == nil {
+		t.Fatalf("lease = %+v, %v", reply, err)
+	}
+	first := *reply.Lease
+
+	// The lease expires; the same range is re-granted to another worker.
+	clock.Advance(2 * time.Second)
+	reply2, err := coord.Lease("fast", fp)
+	if err != nil || reply2.Lease == nil {
+		t.Fatalf("re-grant = %+v, %v", reply2, err)
+	}
+	if reply2.Lease.Lo != first.Lo || reply2.Lease.Hi != first.Hi {
+		t.Fatalf("re-grant covers [%d,%d), want the expired [%d,%d)",
+			reply2.Lease.Lo, reply2.Lease.Hi, first.Lo, first.Hi)
+	}
+
+	upload := func(lease distrib.Lease, worker string) (distrib.CompleteReply, error) {
+		var lines []string
+		for i := lease.Lo; i < lease.Hi; i++ {
+			lines = append(lines, records[i]...)
+		}
+		return coord.Complete(lease.ID, worker, fp, strings.NewReader(strings.Join(lines, "\n")+"\n"))
+	}
+
+	// The original (expired) worker finishes first: first complete wins.
+	cr, err := upload(first, "slow")
+	if err != nil || !cr.Accepted {
+		t.Fatalf("late first completion = %+v, %v; want accepted", cr, err)
+	}
+	// The re-run finishes second: acknowledged, discarded.
+	cr2, err := upload(*reply2.Lease, "fast")
+	if err != nil || cr2.Accepted || !cr2.Duplicate {
+		t.Fatalf("second completion = %+v, %v; want duplicate", cr2, err)
+	}
+
+	// Heartbeating the expired lease reports it gone.
+	if err := coord.Heartbeat(first.ID, "slow", fp); err == nil {
+		t.Error("heartbeat on a completed range should fail")
+	}
+}
+
+// TestCompleteRejectsBadUploads pins upload validation: records naming
+// cells outside the leased range, and uploads not covering every leased
+// cell, are rejected — and the range goes back in the queue.
+func TestCompleteRejectsBadUploads(t *testing.T) {
+	def := timingDef()
+	records := cellRecords(t, def)
+	coord, err := distrib.NewCoordinator(distrib.Config{Def: def, LeaseTTL: time.Minute, ChunkSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _ := def.Plan()
+	fp := plan.Fingerprint()
+
+	reply, err := coord.Lease("w", fp)
+	if err != nil || reply.Lease == nil {
+		t.Fatalf("lease = %+v, %v", reply, err)
+	}
+	lease := *reply.Lease
+
+	// A record from outside the leased range.
+	foreign := records[lease.Hi][0]
+	if _, err := coord.Complete(lease.ID, "w", fp, strings.NewReader(foreign+"\n")); err == nil ||
+		!strings.Contains(err.Error(), "outside the leased range") {
+		t.Errorf("foreign-record upload error = %v", err)
+	}
+
+	// The rejection re-queued the range: it can be leased again.
+	reply2, err := coord.Lease("w2", fp)
+	if err != nil || reply2.Lease == nil || reply2.Lease.Lo != lease.Lo {
+		t.Fatalf("after rejection, re-lease = %+v, %v; want range [%d,%d)", reply2, err, lease.Lo, lease.Hi)
+	}
+
+	// Partial coverage: only one of the two leased cells.
+	partial := strings.Join(records[reply2.Lease.Lo], "\n") + "\n"
+	if _, err := coord.Complete(reply2.Lease.ID, "w2", fp, strings.NewReader(partial)); err == nil ||
+		!strings.Contains(err.Error(), "incomplete") {
+		t.Errorf("partial upload error = %v", err)
+	}
+
+	// Garbage is rejected with its line number.
+	reply3, err := coord.Lease("w3", fp)
+	if err != nil || reply3.Lease == nil {
+		t.Fatalf("third lease = %+v, %v", reply3, err)
+	}
+	if _, err := coord.Complete(reply3.Lease.ID, "w3", fp, strings.NewReader("{not json}\n")); err == nil ||
+		!strings.Contains(err.Error(), "line 1") {
+		t.Errorf("garbage upload error = %v", err)
+	}
+}
+
+// TestSweepFailsAfterMaxAttempts pins the retry budget: a range granted
+// MaxAttempts times without a completion fails the whole sweep, and
+// workers are told so.
+func TestSweepFailsAfterMaxAttempts(t *testing.T) {
+	def := timingDef()
+	clock := &testClock{now: time.Unix(1_700_000_000, 0)}
+	coord, err := distrib.NewCoordinator(distrib.Config{
+		Def:         def,
+		ChunkSize:   100, // one range: every grant hands out the same cells
+		LeaseTTL:    time.Second,
+		MaxAttempts: 2,
+		Now:         clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _ := def.Plan()
+	fp := plan.Fingerprint()
+
+	for i := 0; i < 2; i++ {
+		reply, err := coord.Lease("crashy", fp)
+		if err != nil || reply.Lease == nil {
+			t.Fatalf("grant %d = %+v, %v", i, reply, err)
+		}
+		clock.Advance(2 * time.Second) // let it expire
+	}
+	reply, err := coord.Lease("crashy", fp)
+	if err != nil || reply.Failed == "" {
+		t.Fatalf("post-budget lease = %+v, %v; want sweep failure", reply, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if werr := coord.Wait(ctx); werr == nil || !strings.Contains(werr.Error(), "attempts") {
+		t.Errorf("Wait = %v, want max-attempts failure", werr)
+	}
+}
+
+// TestWorkerWithWarmDatasetDirGeneratesNothing extends the disk-tier
+// cold-start property to the worker path: after a local run has warmed a
+// shared dataset directory, a cold worker process-equivalent (memory
+// tier purged, same dir) resolves the coordinator's pre-announced
+// datasets and executes its leases with zero trace generations — and
+// still reproduces the local output byte for byte.
+func TestWorkerWithWarmDatasetDirGeneratesNothing(t *testing.T) {
+	defer func() {
+		destset.SetDatasetDir("")
+		destset.PurgeDatasets()
+	}()
+	if err := destset.SetDatasetDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	destset.PurgeDatasets() // other tests may have warmed the keys we use
+
+	def := destset.NewTimingSweepDef(
+		[]destset.SimSpec{{Protocol: destset.ProtocolSnooping}, {Protocol: destset.ProtocolDirectory}},
+		[]destset.WorkloadSpec{{Name: "oltp", Warm: 400, Measure: 400}},
+		destset.WithSeeds(7),
+	)
+	before := destset.DatasetCacheStats()
+	want := localJSONL(t, def) // generates and spills to the dir
+	mid := destset.DatasetCacheStats()
+	if gens := mid.Generations - before.Generations; gens != 1 {
+		t.Fatalf("warm run generated %d datasets, want 1", gens)
+	}
+
+	// "Cold worker": drop the memory tier, keep the disk tier.
+	if n := destset.PurgeDatasets(); n != 1 {
+		t.Fatalf("purged %d datasets, want 1", n)
+	}
+
+	coord, client := serve(t, distrib.Config{Def: def, LeaseTTL: 5 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	stats, err := distrib.RunWorker(ctx, distrib.WorkerConfig{
+		URL:          "http://coordinator",
+		Client:       client,
+		Name:         "cold",
+		Parallelism:  1,
+		PollInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Prewarmed != 1 {
+		t.Errorf("worker prewarmed %d datasets, want 1 (pre-announced by the coordinator)", stats.Prewarmed)
+	}
+	after := destset.DatasetCacheStats()
+	if gens := after.Generations - mid.Generations; gens != 0 {
+		t.Errorf("cold worker generated %d datasets, want 0 (disk tier should serve them)", gens)
+	}
+	if hits := after.DiskHits - mid.DiskHits; hits == 0 {
+		t.Error("cold worker recorded no disk hits")
+	}
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := coord.WriteMerged(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Error("cold-worker distributed output differs from the warm local run")
+	}
+}

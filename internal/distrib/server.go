@@ -1,0 +1,115 @@
+package distrib
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// The wire protocol, one endpoint per coordinator method:
+//
+//	GET  /v1/sweep      -> SweepInfo (open: the handshake)
+//	POST /v1/lease      {worker, plan} -> LeaseReply
+//	POST /v1/heartbeat  {worker, plan, lease} -> 204
+//	POST /v1/fail       {worker, plan, lease, error} -> 204
+//	POST /v1/complete   ?worker=&plan=&lease=  body: JSONL records -> CompleteReply
+//	GET  /v1/progress   -> Progress
+//
+// Every request except the handshake carries the plan fingerprint; a
+// mismatch is 409 Conflict. An unknown lease id is 404, a stale one
+// (expired and re-queued) is 410 Gone, an unusable upload is 400 (and
+// the range is already re-queued by the time the response is written).
+
+// workerRequest is the JSON body of lease, heartbeat and fail requests.
+type workerRequest struct {
+	Worker string `json:"worker"`
+	Plan   string `json:"plan"`
+	Lease  string `json:"lease,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// NewHandler serves the coordinator protocol.
+func NewHandler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Info())
+	})
+	mux.HandleFunc("GET /v1/progress", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Progress())
+	})
+	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req workerRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		reply, err := c.Lease(req.Worker, req.Plan)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, reply)
+	})
+	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req workerRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if err := c.Heartbeat(req.Lease, req.Worker, req.Plan); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/fail", func(w http.ResponseWriter, r *http.Request) {
+		var req workerRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if err := c.Fail(req.Lease, req.Worker, req.Plan, req.Error); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/complete", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		reply, err := c.Complete(q.Get("lease"), q.Get("worker"), q.Get("plan"), r.Body)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, reply)
+	})
+	return mux
+}
+
+// readJSON decodes one request body, answering 400 on garbage.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("decoding request: %v", err)})
+		return false
+	}
+	return true
+}
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps coordinator errors onto protocol status codes.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrPlanMismatch):
+		code = http.StatusConflict
+	case errors.Is(err, ErrUnknownLease):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrLeaseGone):
+		code = http.StatusGone
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

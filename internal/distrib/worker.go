@@ -1,0 +1,396 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"destset"
+	"destset/internal/sweep"
+)
+
+// WorkerConfig tunes RunWorker.
+type WorkerConfig struct {
+	// URL is the coordinator's base URL (e.g. "http://127.0.0.1:7607").
+	URL string
+	// Client overrides the HTTP client (tests dial in-memory listeners
+	// through it); nil uses a fresh default client.
+	Client *http.Client
+	// Name identifies the worker in leases and logs; empty derives
+	// "host-pid".
+	Name string
+	// Parallelism caps concurrent cells within one lease (and the
+	// dataset prewarm); <= 0 means GOMAXPROCS.
+	Parallelism int
+	// ExpectPlan, when set, pins the plan fingerprint this worker is
+	// willing to execute: a coordinator serving anything else is refused
+	// locally before any work starts.
+	ExpectPlan string
+	// PollInterval is the idle wait between lease requests when nothing
+	// is grantable; <= 0 means 300ms.
+	PollInterval time.Duration
+	// Hold delays each lease's execution while heartbeats keep it alive
+	// — a failure-injection knob: kill the worker during the hold and
+	// the lease dies with it, exercising expiry and retry.
+	Hold time.Duration
+	// NoPrewarm skips resolving the coordinator's pre-announced datasets
+	// before leasing. The default (prewarm) is what lets a fleet sharing
+	// a warm dataset directory start without a single regeneration.
+	NoPrewarm bool
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// WorkerStats summarizes one worker's run.
+type WorkerStats struct {
+	// Leases and Cells count completed (accepted or duplicate) leases
+	// and the cells they covered.
+	Leases, Cells int
+	// Prewarmed counts pre-announced datasets resolved before leasing.
+	Prewarmed int
+}
+
+// maxNetFailures bounds consecutive unreachable-coordinator retries
+// before the worker gives up.
+const maxNetFailures = 10
+
+// worker is one running RunWorker invocation.
+type worker struct {
+	cfg    WorkerConfig
+	client *http.Client
+	base   string
+	name   string
+	info   SweepInfo
+	planFP string
+	stats  WorkerStats
+}
+
+// RunWorker executes sweep cells for a coordinator until the sweep
+// completes: handshake, optional dataset prewarm, then a lease loop —
+// lease a cell range, run it through the ordinary facade runner with
+// heartbeats keeping the lease alive, and stream the JSONL observation
+// records back. Cell execution errors are reported (the coordinator
+// re-queues the range) and the loop continues; the worker returns when
+// the coordinator declares the sweep done or failed, when ctx ends, or
+// when the coordinator stays unreachable.
+func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 300 * time.Millisecond
+	}
+	w := &worker{
+		cfg:    cfg,
+		client: cfg.Client,
+		base:   strings.TrimRight(cfg.URL, "/"),
+		name:   cfg.Name,
+	}
+	if w.client == nil {
+		w.client = &http.Client{}
+	}
+	if w.name == "" {
+		host, _ := os.Hostname()
+		w.name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if err := w.handshake(ctx); err != nil {
+		return w.stats, err
+	}
+	if err := w.prewarm(ctx); err != nil {
+		return w.stats, err
+	}
+	err := w.leaseLoop(ctx)
+	return w.stats, err
+}
+
+// logf emits one progress line when a logger is configured.
+func (w *worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// handshake fetches the sweep, rebuilds its plan locally and verifies
+// both sides agree on the fingerprint — the worker-side half of the
+// mismatch refusal (the coordinator re-checks the presented fingerprint
+// on every later request).
+func (w *worker) handshake(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+"/v1/sweep", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("distrib: reaching coordinator: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("distrib: handshake: %s", httpError(resp))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&w.info); err != nil {
+		return fmt.Errorf("distrib: decoding sweep info: %w", err)
+	}
+	plan, err := w.info.Def.Plan()
+	if err != nil {
+		return fmt.Errorf("distrib: rebuilding plan from coordinator def: %w", err)
+	}
+	w.planFP = plan.Fingerprint()
+	if w.planFP != w.info.Plan {
+		return fmt.Errorf("%w: coordinator announces %q, this worker computes %q from the same def (version skew?)",
+			ErrPlanMismatch, w.info.Plan, w.planFP)
+	}
+	if w.cfg.ExpectPlan != "" && w.cfg.ExpectPlan != w.planFP {
+		return fmt.Errorf("%w: pinned to %q, coordinator serves %q", ErrPlanMismatch, w.cfg.ExpectPlan, w.planFP)
+	}
+	w.logf("worker %s: joined sweep %s (%s, %d cells)", w.name, w.planFP, w.info.Kind, w.info.Cells)
+	return nil
+}
+
+// prewarm resolves the coordinator's pre-announced datasets through the
+// process-wide tiered store before any lease is taken: against a warm
+// shared dataset directory every one is a disk load, so the whole fleet
+// starts without a single redundant generation.
+func (w *worker) prewarm(ctx context.Context) error {
+	if w.cfg.NoPrewarm || len(w.info.Datasets) == 0 {
+		return nil
+	}
+	datasets := w.info.Datasets
+	err := sweep.ForEach(ctx, len(datasets), w.cfg.Parallelism, func(i int) error {
+		return datasets[i].Prewarm()
+	})
+	if err != nil {
+		return fmt.Errorf("distrib: prewarming datasets: %w", err)
+	}
+	w.stats.Prewarmed = len(datasets)
+	w.logf("worker %s: resolved %d pre-announced dataset(s)", w.name, len(datasets))
+	return nil
+}
+
+// leaseLoop leases, executes and uploads ranges until done.
+func (w *worker) leaseLoop(ctx context.Context) error {
+	netFails := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var reply LeaseReply
+		status, err := w.postJSON(ctx, "/v1/lease", workerRequest{Worker: w.name, Plan: w.planFP}, &reply)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if status == http.StatusConflict {
+				return err
+			}
+			netFails++
+			if netFails >= maxNetFailures {
+				return fmt.Errorf("distrib: coordinator unreachable after %d attempts: %w", netFails, err)
+			}
+			if !sleepCtx(ctx, w.cfg.PollInterval) {
+				return ctx.Err()
+			}
+			continue
+		}
+		netFails = 0
+		switch {
+		case reply.Failed != "":
+			return fmt.Errorf("distrib: coordinator reports sweep failed: %s", reply.Failed)
+		case reply.Done:
+			w.logf("worker %s: sweep done (%d leases, %d cells)", w.name, w.stats.Leases, w.stats.Cells)
+			return nil
+		case reply.Lease == nil:
+			if !sleepCtx(ctx, w.cfg.PollInterval) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if err := w.runLease(ctx, *reply.Lease); err != nil {
+			return err
+		}
+	}
+}
+
+// runLease executes one leased cell range and uploads its records.
+// Cell failures are reported to the coordinator and are not fatal to the
+// worker; only ctx cancellation propagates.
+func (w *worker) runLease(ctx context.Context, lease Lease) error {
+	leaseCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Heartbeats keep the lease alive for as long as this worker is
+	// actually working it — through the hold, the run and the upload. A
+	// heartbeat learning the lease is gone cancels the run: someone else
+	// owns the range now.
+	ttl := time.Duration(lease.TTLMs) * time.Millisecond
+	hbEvery := ttl / 3
+	if hbEvery <= 0 {
+		hbEvery = time.Second
+	}
+	go func() {
+		t := time.NewTicker(hbEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-leaseCtx.Done():
+				return
+			case <-t.C:
+				status, err := w.postJSON(leaseCtx, "/v1/heartbeat", workerRequest{
+					Worker: w.name, Plan: w.planFP, Lease: lease.ID,
+				}, nil)
+				if err != nil && (status == http.StatusGone || status == http.StatusNotFound || status == http.StatusConflict) {
+					w.logf("worker %s: %s: lease lost (%v); abandoning", w.name, lease.ID, err)
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	if w.cfg.Hold > 0 {
+		w.logf("worker %s: %s: holding cells [%d,%d) for %s", w.name, lease.ID, lease.Lo, lease.Hi, w.cfg.Hold)
+		if !sleepCtx(leaseCtx, w.cfg.Hold) {
+			return ctx.Err()
+		}
+	}
+
+	indices := make([]int, 0, lease.Hi-lease.Lo)
+	for i := lease.Lo; i < lease.Hi; i++ {
+		indices = append(indices, i)
+	}
+	var buf bytes.Buffer
+	sink := destset.NewJSONLObserver(&buf)
+	runErr := w.runCells(leaseCtx, indices, sink)
+	if runErr == nil {
+		runErr = sink.Flush()
+	}
+	if runErr != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if leaseCtx.Err() != nil {
+			// Lease lost mid-run; the range is already someone else's.
+			return nil
+		}
+		w.logf("worker %s: %s: cells [%d,%d) failed: %v", w.name, lease.ID, lease.Lo, lease.Hi, runErr)
+		w.postJSON(ctx, "/v1/fail", workerRequest{
+			Worker: w.name, Plan: w.planFP, Lease: lease.ID, Error: runErr.Error(),
+		}, nil)
+		return nil
+	}
+
+	// Streaming shard upload: the records ride the request body, which
+	// the coordinator attributes to cells as it reads.
+	url := fmt.Sprintf("%s/v1/complete?lease=%s&worker=%s&plan=%s", w.base, lease.ID, w.name, w.planFP)
+	req, err := http.NewRequestWithContext(leaseCtx, http.MethodPost, url, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		w.logf("worker %s: %s: upload failed: %v", w.name, lease.ID, err)
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		w.logf("worker %s: %s: upload refused: %s", w.name, lease.ID, httpError(resp))
+		return nil
+	}
+	var reply CompleteReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return fmt.Errorf("distrib: decoding complete reply: %w", err)
+	}
+	w.stats.Leases++
+	w.stats.Cells += lease.Hi - lease.Lo
+	if reply.Duplicate {
+		w.logf("worker %s: %s: cells [%d,%d) were already completed elsewhere", w.name, lease.ID, lease.Lo, lease.Hi)
+	} else {
+		w.logf("worker %s: %s: completed cells [%d,%d) (%d cells done coordinator-wide)",
+			w.name, lease.ID, lease.Lo, lease.Hi, reply.DoneCells)
+	}
+	return nil
+}
+
+// runCells executes the leased plan indices through the facade runner of
+// the sweep's kind, streaming observations into sink.
+func (w *worker) runCells(ctx context.Context, indices []int, sink *destset.JSONLObserver) error {
+	opts := []destset.RunnerOption{
+		destset.WithCells(indices),
+		destset.WithParallelism(w.cfg.Parallelism),
+	}
+	if w.info.Kind == destset.PlanKindTiming {
+		r, err := w.info.Def.TimingRunner(append(opts, destset.WithTimingObserver(sink.ObserveTiming))...)
+		if err != nil {
+			return err
+		}
+		_, err = r.Run(ctx)
+		return err
+	}
+	r, err := w.info.Def.Runner(append(opts, destset.WithObserver(sink.Observe))...)
+	if err != nil {
+		return err
+	}
+	_, err = r.Run(ctx)
+	return err
+}
+
+// postJSON posts one JSON request and decodes the JSON reply into out
+// (when non-nil). Non-2xx responses return the decoded protocol error
+// and the status code.
+func (w *worker) postJSON(ctx context.Context, path string, body any, out any) (int, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return resp.StatusCode, fmt.Errorf("distrib: %s: %s", path, httpError(resp))
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("distrib: decoding %s reply: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// httpError renders a non-2xx response: the protocol's JSON error body
+// when present, the raw body otherwise.
+func httpError(resp *http.Response) string {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var pe struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &pe) == nil && pe.Error != "" {
+		return fmt.Sprintf("%s: %s", resp.Status, pe.Error)
+	}
+	return fmt.Sprintf("%s: %s", resp.Status, bytes.TrimSpace(raw))
+}
+
+// sleepCtx sleeps d or until ctx ends, reporting whether the full sleep
+// happened.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

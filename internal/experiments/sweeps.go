@@ -48,6 +48,53 @@ func (o Options) tradeoffRunner(shard, shards int) (*destset.Runner, error) {
 	return destset.NewRunner(specs, workloads, opts...), nil
 }
 
+// TradeoffSweepDef captures the Figure 5 trace-driven sweep under opt as
+// a serializable definition — the same specs, workloads, seeds and scale
+// the runner uses, so the def's plan fingerprint matches a local
+// cmd/traceeval run's. cmd/sweepd serves it to workers.
+func TradeoffSweepDef(opt Options) (destset.SweepDef, error) {
+	if err := opt.validate(); err != nil {
+		return destset.SweepDef{}, err
+	}
+	params, err := opt.workloads()
+	if err != nil {
+		return destset.SweepDef{}, err
+	}
+	workloads := make([]destset.WorkloadSpec, len(params))
+	for i, p := range params {
+		workloads[i] = destset.WorkloadSpec{
+			Name:    p.Name,
+			Warm:    explicitScale(opt.WarmMisses),
+			Measure: explicitScale(opt.Misses),
+		}
+	}
+	specs := append(baselineSpecs(), standoutSpecs()...)
+	return destset.NewTraceSweepDef(specs, workloads, destset.WithSeeds(opt.Seed)), nil
+}
+
+// TimingSweepDef captures a figure's timing sweep under opt — the simple
+// model's Figure 7 cells or the detailed model's Figure 8 cells — as a
+// serializable definition whose plan fingerprint matches a local
+// cmd/timing run's.
+func TimingSweepDef(opt Options, cpu destset.CPUModel) (destset.SweepDef, error) {
+	if err := opt.validate(); err != nil {
+		return destset.SweepDef{}, err
+	}
+	specs, err := opt.timingSpecs(cpu)
+	if err != nil {
+		return destset.SweepDef{}, err
+	}
+	names, err := opt.timingNames(cpu)
+	if err != nil {
+		return destset.SweepDef{}, err
+	}
+	workloads := make([]destset.WorkloadSpec, len(names))
+	for i, n := range names {
+		workloads[i] = opt.timingWorkloadSpec(n)
+	}
+	return destset.NewTimingSweepDef(specs, workloads, destset.WithSeeds(opt.Seed)), nil
+}
+
 // TradeoffSweepPlan returns the plan of the Figure 5 trace-driven sweep
 // under opt without running anything; shard processes and merge tools
 // use its fingerprint and cell list to agree on the cell index space.

@@ -116,6 +116,33 @@ func ShardIndices(total, shard, shards int) ([]int, error) {
 	return out, nil
 }
 
+// SubsetIndices resolves the cell subset a run executes: an explicit
+// cell index list (a leased range handed out by a distributed
+// coordinator, say) or, when cells is nil, the round-robin shard
+// ShardIndices selects. Explicit lists must be strictly increasing plan
+// indices — the runner's result order is the plan order, and duplicates
+// would run a cell twice — and are mutually exclusive with sharding.
+func SubsetIndices(total int, cells []int, shard, shards int) ([]int, error) {
+	if cells == nil {
+		return ShardIndices(total, shard, shards)
+	}
+	if shards > 1 {
+		return nil, fmt.Errorf("sweep: explicit cell subset and shard %d/%d are mutually exclusive", shard, shards)
+	}
+	out := append([]int(nil), cells...)
+	prev := -1
+	for _, i := range out {
+		if i < 0 || i >= total {
+			return nil, fmt.Errorf("sweep: cell index %d out of range [0, %d)", i, total)
+		}
+		if i <= prev {
+			return nil, fmt.Errorf("sweep: cell indices must be strictly increasing (%d after %d)", i, prev)
+		}
+		prev = i
+	}
+	return out, nil
+}
+
 // PrewarmJobsFor collects the unique prewarm jobs of a cell subset in
 // first-appearance order — the shard-restricted prewarm list both
 // runners front their cells with.

@@ -137,3 +137,104 @@ func TestMergeShardsRejectsBadInputs(t *testing.T) {
 		t.Error("single half-plan shard accepted as a full merge")
 	}
 }
+
+// TestShardIndicesMoreShardsThanCells pins the degenerate split: with
+// more shards than cells the surplus shards are empty (not errors), the
+// split still partitions exactly, and MergeShards accepts the empty
+// shards back.
+func TestShardIndicesMoreShardsThanCells(t *testing.T) {
+	const total, shards = 3, 5
+	counts := make([]int, 0, shards)
+	covered := 0
+	for s := 0; s < shards; s++ {
+		idx, err := ShardIndices(total, s, shards)
+		if err != nil {
+			t.Fatalf("shard %d/%d of %d cells: %v", s, shards, total, err)
+		}
+		counts = append(counts, len(idx))
+		covered += len(idx)
+	}
+	if covered != total {
+		t.Fatalf("%d shards cover %d of %d cells", shards, covered, total)
+	}
+	for s := total; s < shards; s++ {
+		if counts[s] != 0 {
+			t.Errorf("shard %d/%d of %d cells has %d indices, want 0", s, shards, total, counts[s])
+		}
+	}
+	parts := [][]string{{"a"}, {"b"}, {"c"}, {}, {}}
+	merged, err := MergeShards(total, parts)
+	if err != nil {
+		t.Fatalf("merge with empty shards: %v", err)
+	}
+	if len(merged) != total || merged[0] != "a" || merged[2] != "c" {
+		t.Errorf("merged = %v", merged)
+	}
+	// Zero cells: every shard is empty and the merge yields nothing.
+	if merged, err := MergeShards(0, [][]string{{}, {}}); err != nil || len(merged) != 0 {
+		t.Errorf("zero-cell merge = (%v, %v)", merged, err)
+	}
+}
+
+// TestShardIndicesOneWayIdentity pins the 1-way split as the identity:
+// shard 0 of 1 (and the unsharded 0/0) is the whole plan, and merging
+// that single shard returns it verbatim.
+func TestShardIndicesOneWayIdentity(t *testing.T) {
+	for _, shards := range []int{0, 1} {
+		idx, err := ShardIndices(4, 0, shards)
+		if err != nil || len(idx) != 4 {
+			t.Fatalf("ShardIndices(4, 0, %d) = (%v, %v)", shards, idx, err)
+		}
+		for i, v := range idx {
+			if v != i {
+				t.Fatalf("1-way shard index %d = %d", i, v)
+			}
+		}
+	}
+	want := []string{"w", "x", "y", "z"}
+	merged, err := MergeShards(4, [][]string{want})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if merged[i] != want[i] {
+			t.Fatalf("1-way merge[%d] = %q, want %q", i, merged[i], want[i])
+		}
+	}
+}
+
+// TestSubsetIndices pins the explicit-subset resolver distributed
+// workers lease through: nil falls back to sharding, valid lists pass
+// through copied, and out-of-range, unsorted, duplicate or
+// shard-conflicting subsets fail.
+func TestSubsetIndices(t *testing.T) {
+	idx, err := SubsetIndices(5, nil, 1, 2)
+	if err != nil || len(idx) != 2 || idx[0] != 1 || idx[1] != 3 {
+		t.Fatalf("nil subset = (%v, %v), want shard 1/2", idx, err)
+	}
+	cells := []int{0, 2, 4}
+	idx, err = SubsetIndices(5, cells, 0, 0)
+	if err != nil || len(idx) != 3 {
+		t.Fatalf("explicit subset = (%v, %v)", idx, err)
+	}
+	idx[0] = 99
+	if cells[0] != 0 {
+		t.Error("SubsetIndices aliases the caller's slice")
+	}
+	if idx, err := SubsetIndices(5, []int{}, 0, 0); err != nil || len(idx) != 0 {
+		t.Errorf("empty subset = (%v, %v), want empty run", idx, err)
+	}
+	for name, bad := range map[string][]int{
+		"out of range": {0, 5},
+		"negative":     {-1},
+		"unsorted":     {2, 1},
+		"duplicate":    {1, 1},
+	} {
+		if _, err := SubsetIndices(5, bad, 0, 0); err == nil {
+			t.Errorf("%s subset accepted", name)
+		}
+	}
+	if _, err := SubsetIndices(5, []int{0}, 0, 2); err == nil {
+		t.Error("subset combined with sharding accepted")
+	}
+}

@@ -105,6 +105,10 @@ type Config struct {
 	// plan's cell index space (see ShardIndices). Shards <= 1 runs every
 	// cell.
 	Shard, Shards int
+	// Cells, when non-nil, restricts the run to an explicit list of plan
+	// indices instead (see SubsetIndices) — the leased-range entry point
+	// distributed workers use. Mutually exclusive with Shards > 1.
+	Cells []int
 }
 
 func (c Config) seeds() []uint64 {
@@ -157,7 +161,7 @@ func Run(ctx context.Context, engines []Engine, workloads []Workload, cfg Config
 			}
 		}
 	}
-	subset, err := ShardIndices(len(cells), cfg.Shard, cfg.Shards)
+	subset, err := SubsetIndices(len(cells), cfg.Cells, cfg.Shard, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}

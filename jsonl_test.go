@@ -200,6 +200,39 @@ func TestMergeObservationsReassemblesFullRun(t *testing.T) {
 	}
 }
 
+// TestMergeObservationsEmptyManifestedShard pins the degenerate split:
+// with more shards than plan cells, the surplus shards' files hold a
+// manifest and no records — and the merge must accept them, since every
+// cell is still covered. The merged stream stays byte-identical to the
+// unsharded run.
+func TestMergeObservationsEmptyManifestedShard(t *testing.T) {
+	engines := []destset.EngineSpec{{Protocol: destset.ProtocolSnooping}, {Protocol: destset.ProtocolDirectory}}
+	workloads := []destset.WorkloadSpec{{Name: "oltp", Warm: 200, Measure: 200}}
+
+	// 2 cells split 3 ways: shard 2 owns nothing.
+	full := shardJSONL(t, engines, workloads, 0, 1, destset.WithParallelism(1))
+	s0 := shardJSONL(t, engines, workloads, 0, 3)
+	s1 := shardJSONL(t, engines, workloads, 1, 3)
+	s2 := shardJSONL(t, engines, workloads, 2, 3)
+	if lines := bytes.Count(s2.Bytes(), []byte("\n")); lines != 1 {
+		t.Fatalf("empty shard file has %d lines, want just the manifest", lines)
+	}
+
+	var merged bytes.Buffer
+	if err := destset.MergeObservations(&merged, bytes.NewReader(s0.Bytes()), bytes.NewReader(s1.Bytes()), bytes.NewReader(s2.Bytes())); err != nil {
+		t.Fatalf("merge with an empty-but-manifested shard: %v", err)
+	}
+	if !bytes.Equal(merged.Bytes(), full.Bytes()) {
+		t.Error("merged stream with empty shard differs from the unsharded stream")
+	}
+
+	// The empty shard still counts toward coverage: dropping it is a
+	// missing-shard error, not a quiet success.
+	if err := destset.MergeObservations(&merged, bytes.NewReader(s0.Bytes()), bytes.NewReader(s1.Bytes())); err == nil {
+		t.Error("merge without the empty shard should report it missing")
+	}
+}
+
 // TestMergeObservationsRefusals pins the refusal matrix: mismatched
 // plan fingerprints, missing and duplicate shards, manifest-less files
 // and foreign records are all errors.

@@ -48,7 +48,10 @@ type runnerConfig struct {
 	// shard/shards restrict a run to one shard of the plan's cell index
 	// space; shards <= 1 runs everything.
 	shard, shards int
-	observer      Observer
+	// cells, when non-nil, restricts the run to an explicit list of plan
+	// indices instead (see WithCells).
+	cells    []int
+	observer Observer
 	// timingObserver streams per-cell timing observations; it is only
 	// consulted by the TimingRunner (see WithTimingObserver).
 	timingObserver TimingObserver
@@ -106,6 +109,24 @@ func WithShard(shard, shards int) RunnerOption {
 	return func(c *runnerConfig) { c.shard, c.shards = shard, shards }
 }
 
+// WithCells restricts the run to an explicit, strictly increasing list
+// of plan cell indices (see Plan for the index space) — the
+// finer-grained sibling of WithShard that distributed workers use to
+// execute a leased cell range: any subset of the plan, not just a
+// round-robin residue class. Results keep the global plan order.
+// WithCells is mutually exclusive with WithShard; out-of-range,
+// duplicate or unsorted indices fail at Run. A nil indices slice
+// restores the default full run.
+func WithCells(indices []int) RunnerOption {
+	return func(c *runnerConfig) {
+		if indices == nil {
+			c.cells = nil
+			return
+		}
+		c.cells = append([]int(nil), indices...)
+	}
+}
+
 // WithContext sets the context used when Run is called with a nil
 // context.
 func WithContext(ctx context.Context) RunnerOption {
@@ -128,9 +149,11 @@ type Runner struct {
 	cfg       runnerConfig
 }
 
-// NewRunner builds a sweep over the cross-product of engine and
-// workload specs.
-func NewRunner(engines []EngineSpec, workloads []WorkloadSpec, opts ...RunnerOption) *Runner {
+// newRunnerConfig applies opts over the runners' shared defaults — the
+// one place those defaults live, so a Runner, a TimingRunner and a
+// SweepDef built from the same options agree on the effective seeds and
+// scale (and therefore on the plan fingerprint).
+func newRunnerConfig(opts []RunnerOption) runnerConfig {
 	cfg := runnerConfig{
 		seeds:   []uint64{1},
 		warm:    DefaultWarmMisses,
@@ -142,10 +165,16 @@ func NewRunner(engines []EngineSpec, workloads []WorkloadSpec, opts ...RunnerOpt
 	if len(cfg.seeds) == 0 {
 		cfg.seeds = []uint64{1}
 	}
+	return cfg
+}
+
+// NewRunner builds a sweep over the cross-product of engine and
+// workload specs.
+func NewRunner(engines []EngineSpec, workloads []WorkloadSpec, opts ...RunnerOption) *Runner {
 	return &Runner{
 		engines:   append([]EngineSpec(nil), engines...),
 		workloads: append([]WorkloadSpec(nil), workloads...),
-		cfg:       cfg,
+		cfg:       newRunnerConfig(opts),
 	}
 }
 
@@ -192,6 +221,7 @@ func (r *Runner) Run(ctx context.Context) ([]RunResult, error) {
 		Observe:     observe,
 		Shard:       r.cfg.shard,
 		Shards:      r.cfg.shards,
+		Cells:       r.cfg.cells,
 	})
 	out := make([]RunResult, len(results))
 	for i, res := range results {

@@ -1,0 +1,338 @@
+package destset
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"destset/internal/dataset"
+	"destset/internal/sweep"
+	"destset/internal/workload"
+)
+
+// Serializable sweep definitions. A SweepDef is the wire form of a
+// Runner or TimingRunner configuration: the specs, workloads, seeds and
+// scale — everything that determines the sweep plan, and nothing that is
+// local to one process (parallelism, observers, shard selection).
+// Marshal it, ship it to another machine, unmarshal it, and the rebuilt
+// runner computes a byte-identical SweepPlan — the property the
+// distributed coordinator/worker protocol (internal/distrib, cmd/sweepd)
+// is built on: the coordinator serves its def, every worker reconstructs
+// the cell index space from it, and the plan fingerprint is the
+// handshake that proves they agree.
+//
+// Only value-described workloads serialize: a WorkloadSpec with a custom
+// Open stream source refuses to marshal, since a function cannot cross a
+// process boundary.
+
+// SweepDef is a serializable sweep definition of either kind. Exactly
+// one of Engines (PlanKindTrace) or Sims (PlanKindTiming) applies,
+// matching Kind.
+type SweepDef struct {
+	// Kind is PlanKindTrace or PlanKindTiming.
+	Kind string `json:"kind"`
+	// Engines are the trace-driven engine specs (Kind == PlanKindTrace).
+	Engines []EngineSpec `json:"engines,omitempty"`
+	// Sims are the execution-driven sim specs (Kind == PlanKindTiming).
+	Sims []SimSpec `json:"sims,omitempty"`
+	// Workloads are the swept workloads. Custom Open sources are not
+	// serializable and refused by Validate and MarshalJSON.
+	Workloads []WorkloadSpec `json:"workloads"`
+	// Seeds are the per-cell workload seeds; empty means the runner
+	// default {1}.
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// Warm and Measure are the default scale applied to workloads that
+	// set none of their own: 0 means the runner defaults
+	// (DefaultWarmMisses / DefaultMeasureMisses), negative means
+	// explicitly none — the same contract as WithWarmup / WithMeasure.
+	Warm    int `json:"warm,omitempty"`
+	Measure int `json:"measure,omitempty"`
+	// Interval is the trace-driven observation granularity in misses
+	// (WithInterval); it folds into trace plan fingerprints and is
+	// ignored by timing sweeps.
+	Interval int `json:"interval,omitempty"`
+}
+
+// NewTraceSweepDef captures a trace-driven sweep as a serializable
+// definition: the same engines, workloads and options NewRunner takes.
+// Only the plan-affecting options are recorded (seeds, warmup, measure,
+// interval); process-local ones (parallelism, observers, shard
+// selection, context) are deliberately dropped — they belong to the
+// process that executes, not to the sweep's identity.
+func NewTraceSweepDef(engines []EngineSpec, workloads []WorkloadSpec, opts ...RunnerOption) SweepDef {
+	cfg := newRunnerConfig(opts)
+	return SweepDef{
+		Kind:      PlanKindTrace,
+		Engines:   append([]EngineSpec(nil), engines...),
+		Workloads: append([]WorkloadSpec(nil), workloads...),
+		Seeds:     cfg.seeds,
+		Warm:      cfg.warm,
+		Measure:   cfg.measure,
+		Interval:  cfg.interval,
+	}
+}
+
+// NewTimingSweepDef captures an execution-driven timing sweep as a
+// serializable definition — the timing analogue of NewTraceSweepDef.
+func NewTimingSweepDef(sims []SimSpec, workloads []WorkloadSpec, opts ...RunnerOption) SweepDef {
+	cfg := newRunnerConfig(opts)
+	return SweepDef{
+		Kind:      PlanKindTiming,
+		Sims:      append([]SimSpec(nil), sims...),
+		Workloads: append([]WorkloadSpec(nil), workloads...),
+		Seeds:     cfg.seeds,
+		Warm:      cfg.warm,
+		Measure:   cfg.measure,
+	}
+}
+
+// Validate checks the definition is complete, serializable and names
+// only registered protocols, policies and workloads — everything a
+// worker needs to verify before executing cells from it.
+func (d SweepDef) Validate() error {
+	switch d.Kind {
+	case PlanKindTrace:
+		if len(d.Engines) == 0 {
+			return fmt.Errorf("destset: trace sweep def needs at least one engine spec")
+		}
+		if len(d.Sims) != 0 {
+			return fmt.Errorf("destset: trace sweep def must not carry sim specs")
+		}
+		for _, e := range d.Engines {
+			if err := e.validate(); err != nil {
+				return err
+			}
+		}
+	case PlanKindTiming:
+		if len(d.Sims) == 0 {
+			return fmt.Errorf("destset: timing sweep def needs at least one sim spec")
+		}
+		if len(d.Engines) != 0 {
+			return fmt.Errorf("destset: timing sweep def must not carry engine specs")
+		}
+		for _, s := range d.Sims {
+			if err := s.validate(); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("destset: sweep def kind %q (want %q or %q)", d.Kind, PlanKindTrace, PlanKindTiming)
+	}
+	if len(d.Workloads) == 0 {
+		return fmt.Errorf("destset: sweep def needs at least one workload spec")
+	}
+	for _, w := range d.Workloads {
+		if w.Open != nil {
+			return fmt.Errorf("destset: workload %q uses a custom Open stream source and cannot be serialized", w.label())
+		}
+		if w.Params == nil && w.Name == "" {
+			return fmt.Errorf("destset: workload spec needs a Name or Params")
+		}
+		if w.Params == nil {
+			if _, err := workload.Preset(w.Name, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runnerOptions rebuilds the plan-affecting runner options the def
+// records, appending the caller's process-local extras.
+func (d SweepDef) runnerOptions(extra []RunnerOption) []RunnerOption {
+	opts := make([]RunnerOption, 0, 4+len(extra))
+	if len(d.Seeds) > 0 {
+		opts = append(opts, WithSeeds(d.Seeds...))
+	}
+	// 0 keeps the runner defaults, exactly as an absent option would.
+	if d.Warm != 0 {
+		opts = append(opts, WithWarmup(d.Warm))
+	}
+	if d.Measure != 0 {
+		opts = append(opts, WithMeasure(d.Measure))
+	}
+	if d.Interval != 0 {
+		opts = append(opts, WithInterval(d.Interval))
+	}
+	return append(opts, extra...)
+}
+
+// Runner rebuilds the trace-driven Runner the definition describes.
+// extra options are process-local (parallelism, observers, WithShard,
+// WithCells); passing plan-affecting ones here would desynchronize this
+// process from every other holder of the def, so don't.
+func (d SweepDef) Runner(extra ...RunnerOption) (*Runner, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Kind != PlanKindTrace {
+		return nil, fmt.Errorf("destset: sweep def kind %q is not a trace sweep", d.Kind)
+	}
+	return NewRunner(d.Engines, d.Workloads, d.runnerOptions(extra)...), nil
+}
+
+// TimingRunner rebuilds the execution-driven TimingRunner the definition
+// describes; see Runner for the extra-options contract.
+func (d SweepDef) TimingRunner(extra ...RunnerOption) (*TimingRunner, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Kind != PlanKindTiming {
+		return nil, fmt.Errorf("destset: sweep def kind %q is not a timing sweep", d.Kind)
+	}
+	return NewTimingRunner(d.Sims, d.Workloads, d.runnerOptions(extra)...), nil
+}
+
+// Plan computes the definition's sweep plan. Every process that holds an
+// equal def — however it got it, including over the wire — computes a
+// byte-identical plan.
+func (d SweepDef) Plan() (*SweepPlan, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Kind == PlanKindTrace {
+		r, err := d.Runner()
+		if err != nil {
+			return nil, err
+		}
+		return r.Plan()
+	}
+	r, err := d.TimingRunner()
+	if err != nil {
+		return nil, err
+	}
+	return r.Plan()
+}
+
+// SweepDataset names one shared dataset a sweep replays: a serializable
+// workload at one seed and resolved scale. The coordinator pre-announces
+// a sweep's datasets so workers pointed at a shared dataset directory
+// can resolve them all — warm-dir loads, not regenerations — before
+// leasing any cells.
+type SweepDataset struct {
+	Workload WorkloadSpec `json:"workload"`
+	Seed     uint64       `json:"seed"`
+	// Warm and Measure are the resolved generation scale in misses (the
+	// def's defaults already applied).
+	Warm    int `json:"warm"`
+	Measure int `json:"measure"`
+}
+
+// Prewarm materializes the dataset through the process-wide tiered
+// store: a memory hit, else a dataset-dir load, else a generation (which
+// spills to the dir for the rest of the fleet).
+func (sd SweepDataset) Prewarm() error {
+	w := sd.Workload
+	var p workload.Params
+	switch {
+	case w.Open != nil:
+		return fmt.Errorf("destset: workload %q uses a custom Open stream source and has no shared dataset", w.label())
+	case w.Params != nil:
+		p = *w.Params
+		p.Seed = sd.Seed
+	case w.Name != "":
+		var err error
+		p, err = workload.Preset(w.Name, sd.Seed)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("destset: workload spec needs a Name, Params or Open source")
+	}
+	_, err := dataset.GetShared(p, sd.Warm, sd.Measure)
+	return err
+}
+
+// Datasets enumerates the shared datasets the sweep's cells replay, one
+// per (workload, seed) at the resolved scale, in plan order of first
+// use.
+func (d SweepDef) Datasets() ([]SweepDataset, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	seeds := d.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	defWarm, defMeasure := d.Warm, d.Measure
+	if defWarm == 0 {
+		defWarm = DefaultWarmMisses
+	}
+	if defMeasure == 0 {
+		defMeasure = DefaultMeasureMisses
+	}
+	out := make([]SweepDataset, 0, len(d.Workloads)*len(seeds))
+	for _, w := range d.Workloads {
+		warm, measure := scaleOf(w.Warm, w.Measure, defWarm, defMeasure)
+		for _, seed := range seeds {
+			out = append(out, SweepDataset{Workload: w, Seed: seed, Warm: warm, Measure: measure})
+		}
+	}
+	return out, nil
+}
+
+// wireWorkloadSpec is WorkloadSpec's serializable field set.
+type wireWorkloadSpec struct {
+	Name    string          `json:"Name,omitempty"`
+	Params  *WorkloadParams `json:"Params,omitempty"`
+	Nodes   int             `json:"Nodes,omitempty"`
+	Warm    int             `json:"Warm,omitempty"`
+	Measure int             `json:"Measure,omitempty"`
+}
+
+// MarshalJSON serializes a Name- or Params-based spec. Specs with a
+// custom Open stream source refuse to marshal: a function cannot cross a
+// process boundary, and silently dropping it would ship a spec that
+// generates a different stream than the original.
+func (w WorkloadSpec) MarshalJSON() ([]byte, error) {
+	if w.Open != nil {
+		return nil, fmt.Errorf("destset: workload %q uses a custom Open stream source and cannot be serialized", w.label())
+	}
+	return json.Marshal(wireWorkloadSpec{
+		Name: w.Name, Params: w.Params, Nodes: w.Nodes, Warm: w.Warm, Measure: w.Measure,
+	})
+}
+
+// UnmarshalJSON is MarshalJSON's inverse.
+func (w *WorkloadSpec) UnmarshalJSON(raw []byte) error {
+	var ws wireWorkloadSpec
+	if err := json.Unmarshal(raw, &ws); err != nil {
+		return err
+	}
+	*w = WorkloadSpec{Name: ws.Name, Params: ws.Params, Nodes: ws.Nodes, Warm: ws.Warm, Measure: ws.Measure}
+	return nil
+}
+
+// sweepPlanJSON is SweepPlan's wire form: kind, fingerprint and the full
+// cell list.
+type sweepPlanJSON struct {
+	Kind  string     `json:"kind"`
+	Plan  string     `json:"plan"`
+	Cells []PlanCell `json:"cells"`
+}
+
+// MarshalJSON serializes the plan: its kind, fingerprint and cells — the
+// same fields a ShardManifest carries.
+func (p *SweepPlan) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sweepPlanJSON{Kind: p.kind, Plan: p.Fingerprint(), Cells: p.Cells()})
+}
+
+// UnmarshalJSON rebuilds a plan from its wire form and verifies the
+// recorded fingerprint against the one recomputed from the cells, so a
+// corrupted or hand-edited plan is rejected instead of silently renaming
+// an experiment.
+func (p *SweepPlan) UnmarshalJSON(raw []byte) error {
+	var pj sweepPlanJSON
+	if err := json.Unmarshal(raw, &pj); err != nil {
+		return err
+	}
+	if pj.Kind != PlanKindTrace && pj.Kind != PlanKindTiming {
+		return fmt.Errorf("destset: sweep plan kind %q (want %q or %q)", pj.Kind, PlanKindTrace, PlanKindTiming)
+	}
+	rebuilt := sweep.NewPlan(pj.Cells)
+	if rebuilt.Fingerprint() != pj.Plan {
+		return fmt.Errorf("destset: sweep plan fingerprint %s does not match its cells (recomputed %s)",
+			pj.Plan, rebuilt.Fingerprint())
+	}
+	*p = SweepPlan{kind: pj.Kind, plan: rebuilt}
+	return nil
+}

@@ -1,0 +1,277 @@
+package destset_test
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"destset"
+)
+
+// TestSweepDefRoundTripPreservesPlan is the wire contract: a def
+// marshaled, shipped and unmarshaled computes the identical plan
+// fingerprint — what lets a distributed worker agree with its
+// coordinator cell for cell.
+func TestSweepDefRoundTripPreservesPlan(t *testing.T) {
+	defs := map[string]destset.SweepDef{
+		"trace": destset.NewTraceSweepDef(
+			[]destset.EngineSpec{
+				{Protocol: destset.ProtocolSnooping},
+				destset.SpecForPolicy(destset.Group),
+				{Protocol: destset.ProtocolMulticast, PolicyName: "owner", Label: "custom-label"},
+			},
+			[]destset.WorkloadSpec{
+				{Name: "oltp", Warm: 500, Measure: 500},
+				{Name: "ocean"},
+			},
+			destset.WithSeeds(1, 5),
+			destset.WithInterval(250),
+		),
+		"timing": destset.NewTimingSweepDef(
+			[]destset.SimSpec{
+				{Protocol: destset.ProtocolSnooping},
+				{Protocol: destset.ProtocolMulticast, Policy: destset.OwnerGroup, UsePolicy: true, LinkBytesPerNs: 2.5},
+			},
+			[]destset.WorkloadSpec{{Name: "apache", Warm: 300, Measure: 300}},
+			destset.WithSeeds(2),
+		),
+	}
+	for name, def := range defs {
+		t.Run(name, func(t *testing.T) {
+			wantPlan, err := def.Plan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := json.Marshal(def)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back destset.SweepDef
+			if err := json.Unmarshal(raw, &back); err != nil {
+				t.Fatal(err)
+			}
+			gotPlan, err := back.Plan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotPlan.Fingerprint() != wantPlan.Fingerprint() {
+				t.Errorf("round-tripped def plan %s, original %s", gotPlan.Fingerprint(), wantPlan.Fingerprint())
+			}
+			if !reflect.DeepEqual(gotPlan.Cells(), wantPlan.Cells()) {
+				t.Error("round-tripped def cells differ")
+			}
+		})
+	}
+}
+
+// TestSweepDefRunnerMatchesDirectRunner ties a def-built runner to one
+// built directly from the same specs and options: same plan, same
+// results.
+func TestSweepDefRunnerMatchesDirectRunner(t *testing.T) {
+	engines := []destset.EngineSpec{{Protocol: destset.ProtocolDirectory}}
+	workloads := []destset.WorkloadSpec{{Name: "barnes-hut", Warm: 300, Measure: 300}}
+	opts := []destset.RunnerOption{destset.WithSeeds(3)}
+
+	direct := destset.NewRunner(engines, workloads, opts...)
+	def := destset.NewTraceSweepDef(engines, workloads, opts...)
+	fromDef, err := def.Runner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := direct.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := fromDef.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Fingerprint() != fp.Fingerprint() {
+		t.Fatalf("def runner plan %s, direct runner plan %s", fp.Fingerprint(), dp.Fingerprint())
+	}
+	want, err := direct.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fromDef.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("def runner results differ from direct runner results")
+	}
+}
+
+// TestSweepDefRefusals pins validation: custom Open sources cannot
+// serialize, kinds must match their spec lists, and unknown kinds fail.
+func TestSweepDefRefusals(t *testing.T) {
+	open := destset.WorkloadSpec{
+		Open:  func(seed uint64) (destset.Stream, error) { return nil, nil },
+		Nodes: 16,
+	}
+	if _, err := json.Marshal(open); err == nil || !strings.Contains(err.Error(), "cannot be serialized") {
+		t.Errorf("marshal of Open workload = %v, want refusal", err)
+	}
+	def := destset.NewTraceSweepDef(
+		[]destset.EngineSpec{{Protocol: destset.ProtocolSnooping}},
+		[]destset.WorkloadSpec{open},
+	)
+	if err := def.Validate(); err == nil || !strings.Contains(err.Error(), "cannot be serialized") {
+		t.Errorf("Validate with Open workload = %v, want refusal", err)
+	}
+
+	if err := (destset.SweepDef{Kind: "mystery"}).Validate(); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Errorf("unknown kind = %v, want refusal", err)
+	}
+	wrongKind := destset.NewTraceSweepDef(
+		[]destset.EngineSpec{{Protocol: destset.ProtocolSnooping}},
+		[]destset.WorkloadSpec{{Name: "oltp"}},
+	)
+	if _, err := wrongKind.TimingRunner(); err == nil {
+		t.Error("TimingRunner on a trace def should fail")
+	}
+	mixed := wrongKind
+	mixed.Sims = []destset.SimSpec{{Protocol: destset.ProtocolSnooping}}
+	if err := mixed.Validate(); err == nil || !strings.Contains(err.Error(), "sim specs") {
+		t.Errorf("trace def with sims = %v, want refusal", err)
+	}
+	bogus := destset.NewTraceSweepDef(
+		[]destset.EngineSpec{{Protocol: destset.ProtocolSnooping}},
+		[]destset.WorkloadSpec{{Name: "no-such-workload"}},
+	)
+	if err := bogus.Validate(); err == nil {
+		t.Error("unknown workload preset should fail validation")
+	}
+}
+
+// TestSweepDefDatasets pins the pre-announcement: one dataset per
+// (workload, seed) at the resolved scale, and Prewarm materializes it in
+// the shared store.
+func TestSweepDefDatasets(t *testing.T) {
+	def := destset.NewTimingSweepDef(
+		[]destset.SimSpec{{Protocol: destset.ProtocolSnooping}},
+		[]destset.WorkloadSpec{
+			{Name: "oltp", Warm: 700, Measure: 800},
+			{Name: "ocean"}, // inherits the def's defaults
+		},
+		destset.WithSeeds(1, 2),
+		destset.WithWarmup(1000),
+		destset.WithMeasure(1100),
+	)
+	ds, err := def.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 4 {
+		t.Fatalf("got %d datasets, want 4", len(ds))
+	}
+	if ds[0].Warm != 700 || ds[0].Measure != 800 || ds[0].Seed != 1 {
+		t.Errorf("explicit-scale dataset = %+v", ds[0])
+	}
+	if ds[2].Warm != 1000 || ds[2].Measure != 1100 {
+		t.Errorf("default-scale dataset = %+v, want def defaults 1000/1100", ds[2])
+	}
+	before := destset.DatasetCacheStats()
+	if err := ds[0].Prewarm(); err != nil {
+		t.Fatal(err)
+	}
+	after := destset.DatasetCacheStats()
+	if after.Generations == before.Generations && after.MemHits == before.MemHits && after.DiskHits == before.DiskHits {
+		t.Error("Prewarm touched no store tier")
+	}
+}
+
+// TestSweepPlanJSONRoundTrip pins the plan wire form: marshal/unmarshal
+// preserves kind, fingerprint and cells, and a tampered fingerprint is
+// rejected.
+func TestSweepPlanJSONRoundTrip(t *testing.T) {
+	runner := destset.NewRunner(
+		[]destset.EngineSpec{{Protocol: destset.ProtocolSnooping}},
+		[]destset.WorkloadSpec{{Name: "oltp", Warm: 200, Measure: 200}},
+		destset.WithSeeds(1, 2),
+	)
+	plan, err := runner.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back destset.SweepPlan
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind() != plan.Kind() || back.Fingerprint() != plan.Fingerprint() || back.Len() != plan.Len() {
+		t.Errorf("round trip = (%s, %s, %d), want (%s, %s, %d)",
+			back.Kind(), back.Fingerprint(), back.Len(), plan.Kind(), plan.Fingerprint(), plan.Len())
+	}
+
+	tampered := strings.Replace(string(raw), plan.Fingerprint(), strings.Repeat("0", len(plan.Fingerprint())), 1)
+	if err := json.Unmarshal([]byte(tampered), &back); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Errorf("tampered plan = %v, want fingerprint mismatch", err)
+	}
+}
+
+// TestWithCellsSubset pins the explicit-subset entry point: running an
+// arbitrary (non-round-robin) index subset yields exactly those cells of
+// the full run, and invalid subsets fail.
+func TestWithCellsSubset(t *testing.T) {
+	engines := []destset.EngineSpec{
+		{Protocol: destset.ProtocolSnooping},
+		{Protocol: destset.ProtocolDirectory},
+	}
+	workloads := []destset.WorkloadSpec{{Name: "oltp", Warm: 300, Measure: 300}}
+	seeds := destset.WithSeeds(1, 2, 3)
+
+	full, err := destset.NewRunner(engines, workloads, seeds).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 6 {
+		t.Fatalf("full run has %d cells, want 6", len(full))
+	}
+	subset := []int{0, 3, 4} // not a round-robin residue class
+	got, err := destset.NewRunner(engines, workloads, seeds, destset.WithCells(subset)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []destset.RunResult{full[0], full[3], full[4]}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("subset run = %+v\nwant %+v", got, want)
+	}
+
+	for name, bad := range map[string][]int{
+		"out of range": {0, 99},
+		"duplicate":    {1, 1},
+		"unsorted":     {3, 0},
+	} {
+		_, err := destset.NewRunner(engines, workloads, seeds, destset.WithCells(bad)).Run(context.Background())
+		if err == nil {
+			t.Errorf("%s subset should fail", name)
+		}
+	}
+	_, err = destset.NewRunner(engines, workloads, seeds,
+		destset.WithCells([]int{0}), destset.WithShard(0, 2)).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("WithCells+WithShard = %v, want mutual-exclusion error", err)
+	}
+
+	// The timing runner honors the same subset contract.
+	sims := []destset.SimSpec{{Protocol: destset.ProtocolSnooping}, {Protocol: destset.ProtocolDirectory}}
+	tw := []destset.WorkloadSpec{{Name: "oltp", Warm: 200, Measure: 200}}
+	tfull, err := destset.NewTimingRunner(sims, tw, seeds).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgot, err := destset.NewTimingRunner(sims, tw, seeds, destset.WithCells([]int{1, 5})).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	twant := []destset.TimingResult{tfull[1], tfull[5]}
+	if !reflect.DeepEqual(tgot, twant) {
+		t.Error("timing subset run differs from the full run's cells")
+	}
+}

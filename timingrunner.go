@@ -166,21 +166,10 @@ type TimingRunner struct {
 // trace-driven-only ones (WithInterval, WithObserver) are ignored — use
 // WithTimingObserver to stream per-cell timing observations.
 func NewTimingRunner(sims []SimSpec, workloads []WorkloadSpec, opts ...RunnerOption) *TimingRunner {
-	cfg := runnerConfig{
-		seeds:   []uint64{1},
-		warm:    DefaultWarmMisses,
-		measure: DefaultMeasureMisses,
-	}
-	for _, opt := range opts {
-		opt(&cfg)
-	}
-	if len(cfg.seeds) == 0 {
-		cfg.seeds = []uint64{1}
-	}
 	return &TimingRunner{
 		sims:      append([]SimSpec(nil), sims...),
 		workloads: append([]WorkloadSpec(nil), workloads...),
-		cfg:       cfg,
+		cfg:       newRunnerConfig(opts),
 	}
 }
 
@@ -230,7 +219,7 @@ func (r *TimingRunner) Run(ctx context.Context) ([]TimingResult, error) {
 			}
 		}
 	}
-	subset, err := sweep.ShardIndices(len(cells), r.cfg.shard, r.cfg.shards)
+	subset, err := sweep.SubsetIndices(len(cells), r.cfg.cells, r.cfg.shard, r.cfg.shards)
 	if err != nil {
 		return nil, err
 	}
