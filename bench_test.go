@@ -231,6 +231,56 @@ func BenchmarkDatasetColdStart(b *testing.B) {
 	b.ReportMetric(float64(warm+measure), "misses")
 }
 
+// BenchmarkResultStoreLookup measures a cold process start against a
+// warm on-disk result tier: per iteration a fresh store (no memory
+// residents, as after exec) resolves every cell of a small timing plan
+// from the content-addressed result cache — the runner-side lookup an
+// incremental rerun pays per cell instead of simulating it (compare
+// BenchmarkFigure7, which is the computation a hit skips).
+func BenchmarkResultStoreLookup(b *testing.B) {
+	dir := b.TempDir()
+	def := destset.NewTimingSweepDef(
+		[]destset.SimSpec{
+			{Protocol: destset.ProtocolSnooping},
+			{Protocol: destset.ProtocolDirectory},
+		},
+		[]destset.WorkloadSpec{{Name: "oltp", Warm: 4_000, Measure: 4_000}},
+		destset.WithSeeds(1, 2),
+	)
+	plan, err := def.Plan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := destset.NewResultStore()
+	if err := seed.SetDir(dir); err != nil {
+		b.Fatal(err)
+	}
+	r, err := def.TimingRunner(destset.WithResultStore(seed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	cells := plan.Cells()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cold := destset.NewResultStore()
+		if err := cold.SetDir(dir); err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if !cold.HasCell(plan.Kind(), c.Fingerprint) {
+				b.Fatalf("cell %s not served from the warm result dir", c.Fingerprint)
+			}
+		}
+		if st := cold.Stats(); st.DiskHits != uint64(len(cells)) {
+			b.Fatalf("cold lookup stats: %+v", st)
+		}
+	}
+	b.ReportMetric(float64(len(cells)), "cells")
+}
+
 // --- component micro-benchmarks ---
 
 func BenchmarkPredictorPredict(b *testing.B) {

@@ -12,6 +12,7 @@
 //	sweepd -def sweep.json [-addr host:port] [-o merged.jsonl]
 //	sweepd -fig7 [-warm N] [-misses N] [-seed S] [-workloads a,b]
 //	       [-protocols ...] [-addr host:port] [-o merged.jsonl]
+//	       [-result-dir path]
 //
 // The sweep comes either from -def (a destset.SweepDef JSON file, trace
 // or timing kind) or from one figure flag mirroring the local CLIs:
@@ -19,6 +20,12 @@
 // cmd/timing's timing sweeps — with the same -warm/-misses/-seed/
 // -workloads/-protocols flags, so the coordinator's plan fingerprint
 // matches the local run's and outputs diff byte-identical.
+//
+// -result-dir attaches a persistent result store: cells the store can
+// already serve are pre-marked complete and never leased — a restarted
+// sweep resumes warm — and every accepted upload spills back into the
+// store. GET /v1/progress reports cache-served vs computed cell counts
+// and the store's hit/miss counters.
 //
 // Workers (cmd/sweepwork) find the coordinator at -addr. -chunk sets
 // cells per lease, -lease-ttl the heartbeat deadline, -max-attempts the
@@ -67,6 +74,7 @@ func main() {
 		leaseTTL    = flag.Duration("lease-ttl", 30*time.Second, "lease deadline without a heartbeat")
 		maxAttempts = flag.Int("max-attempts", 5, "grants per cell range before the sweep fails")
 		linger      = flag.Duration("linger", 3*time.Second, "how long to keep answering workers after the output is written")
+		resultDir   = flag.String("result-dir", "", "persistent result store: known cells are pre-marked complete, accepted uploads spill back")
 		quiet       = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
@@ -93,12 +101,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sweepd: "+format+"\n", args...)
 		}
 	}
+	var results *destset.ResultStore
+	if *resultDir != "" {
+		if err := destset.SetResultDir(*resultDir); err != nil {
+			fail(err)
+		}
+		results = destset.SharedResults()
+	}
 	coord, err := distrib.NewCoordinator(distrib.Config{
 		Def:         def,
 		ChunkSize:   *chunk,
 		LeaseTTL:    *leaseTTL,
 		MaxAttempts: *maxAttempts,
 		Logf:        logf,
+		Results:     results,
 	})
 	if err != nil {
 		fail(err)

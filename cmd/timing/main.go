@@ -7,7 +7,7 @@
 //	timing [-warm N] [-misses N] [-seed S] [-workloads a,b] [-parallel N]
 //	       [-protocols snooping,multicast+group] [-cpu simple|detailed]
 //	       [-fig7] [-fig8] [-sweep] [-runs N] [-json]
-//	       [-shard i/n] [-dataset-dir path]
+//	       [-shard i/n] [-dataset-dir path] [-result-dir path]
 //
 // Every simulation rides the SimSpec/TimingRunner sweep: the
 // per-protocol cells of each figure run concurrently over the worker
@@ -34,6 +34,12 @@
 // cache: generated traces (with their coherence annotations) spill
 // there and cold processes — each shard of a sweep, say — load them
 // back zero-copy instead of regenerating.
+//
+// -result-dir is the output-side mirror of -dataset-dir: completed
+// sweep cells spill to a content-addressed result store and reruns
+// serve them from it, computing only cells whose specs changed — the
+// JSONL output stays byte-identical to a cold run. A summary line on
+// stderr reports how many cells were served vs computed.
 //
 // With no selection flags, both figures are printed.
 package main
@@ -67,6 +73,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit per-cell timing observations as JSON Lines instead of tables")
 		shardFlag = flag.String("shard", "", "run only shard i/n of the selected figure's sweep (requires -json and exactly one of -fig7/-fig8)")
 		dataDir   = flag.String("dataset-dir", "", "persistent on-disk dataset cache shared across processes")
+		resultDir = flag.String("result-dir", "", "persistent on-disk result cache: completed cells are served from it, only misses compute")
 	)
 	flag.Parse()
 
@@ -108,6 +115,21 @@ func main() {
 		if err := destset.SetDatasetDir(*dataDir); err != nil {
 			fail(err)
 		}
+	}
+	if *resultDir != "" {
+		if err := destset.SetResultDir(*resultDir); err != nil {
+			fail(err)
+		}
+	}
+	// reportResults summarizes the result store's work split on stderr —
+	// "0 computed" is the warm-rerun signature CI pins.
+	reportResults := func() {
+		if *resultDir == "" {
+			return
+		}
+		st := destset.ResultStoreStats()
+		fmt.Fprintf(os.Stderr, "timing: result store: %d cells cached (mem %d, disk %d), %d computed\n",
+			st.MemHits+st.DiskHits, st.MemHits, st.DiskHits, st.Stores)
 	}
 
 	wantFig7, wantFig8 := *fig7, *fig8
@@ -156,6 +178,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "timing:", err)
 			os.Exit(1)
 		}
+		reportResults()
 		return
 	}
 	if *shardFlag != "" {
@@ -218,4 +241,5 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	reportResults()
 }

@@ -6,7 +6,7 @@
 //
 //	traceeval [-warm N] [-misses N] [-seed S] [-workloads a,b] [-parallel N]
 //	          [-fig5] [-fig6a] [-fig6b] [-fig6c] [-json]
-//	          [-shard i/n] [-dataset-dir path]
+//	          [-shard i/n] [-dataset-dir path] [-result-dir path]
 //
 // Every figure fans its engine × workload sweep over a worker pool (the
 // public destset.Runner); -parallel caps the pool.
@@ -23,6 +23,12 @@
 // cache: generated traces (with their coherence annotations) spill
 // there and cold processes load them back zero-copy instead of
 // regenerating.
+//
+// -result-dir is the output-side mirror of -dataset-dir: completed
+// sweep cells spill to a content-addressed result store and reruns
+// serve them from it, computing only cells whose specs changed — the
+// JSONL output stays byte-identical to a cold run. A summary line on
+// stderr reports how many cells were served vs computed.
 //
 // With no selection flags, everything is printed.
 package main
@@ -56,6 +62,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit per-cell sweep observations as JSON Lines instead of tables")
 		shardFlag = flag.String("shard", "", "run only shard i/n of the Figure 5 sweep (requires -json -fig5)")
 		dataDir   = flag.String("dataset-dir", "", "persistent on-disk dataset cache shared across processes")
+		resultDir = flag.String("result-dir", "", "persistent on-disk result cache: completed cells are served from it, only misses compute")
 	)
 	flag.Parse()
 
@@ -92,6 +99,21 @@ func main() {
 			fail(err)
 		}
 	}
+	if *resultDir != "" {
+		if err := destset.SetResultDir(*resultDir); err != nil {
+			fail(err)
+		}
+	}
+	// reportResults summarizes the result store's work split on stderr —
+	// "0 computed" is the warm-rerun signature CI pins.
+	reportResults := func() {
+		if *resultDir == "" {
+			return
+		}
+		st := destset.ResultStoreStats()
+		fmt.Fprintf(os.Stderr, "traceeval: result store: %d cells cached (mem %d, disk %d), %d computed\n",
+			st.MemHits+st.DiskHits, st.MemHits, st.DiskHits, st.Stores)
+	}
 
 	// The manifest-bearing JSONL sweep path: -json -fig5 alone. Sharded
 	// runs must take it — a shard holds raw cells, not whole panels —
@@ -118,6 +140,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "traceeval:", err)
 			os.Exit(1)
 		}
+		reportResults()
 		return
 	}
 	if *shardFlag != "" {
@@ -197,4 +220,5 @@ func main() {
 		show(experiments.FormatTradeoffPoints(
 			"Ablation: macroblock size sweep (OwnerGroup, unbounded)", "oltp", pts))
 	}
+	reportResults()
 }

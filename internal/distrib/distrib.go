@@ -71,6 +71,13 @@ type Config struct {
 	// Logf, when non-nil, receives live progress lines (grants,
 	// completions, expirations).
 	Logf func(format string, args ...any)
+	// Results, when non-nil, is the coordinator's result store: cells
+	// the store can already serve are pre-marked complete at plan build
+	// — never leased to any worker — and every accepted upload is
+	// spilled back into the store, so a coordinator restarted over the
+	// same sweep (or a later sweep sharing cells with this one) resumes
+	// warm instead of recomputing.
+	Results *destset.ResultStore
 }
 
 // taskState is one lease range's lifecycle position.
@@ -116,6 +123,12 @@ type Coordinator struct {
 	plan     *destset.SweepPlan
 	datasets []destset.SweepDataset
 	cells    map[cellKey]int // cell identity -> plan index
+
+	// cachedRecords are the observation lines of every cell the result
+	// store served at plan build, in plan order; cachedCells counts
+	// those cells. Both are immutable after NewCoordinator.
+	cachedRecords [][]byte
+	cachedCells   int
 
 	mu      sync.Mutex
 	tasks   []*task
@@ -179,13 +192,45 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		done:     make(chan struct{}),
 		workers:  make(map[string]time.Time),
 	}
-	for lo := 0; lo < plan.Len(); lo += cfg.ChunkSize {
-		hi := lo + cfg.ChunkSize
-		if hi > plan.Len() {
-			hi = plan.Len()
+	// Result-store phase: cells the store can already serve are
+	// pre-marked complete — their stored observation lines go straight
+	// into the merged output and the cells are never leased. Only the
+	// misses become lease ranges, chunked over the contiguous runs
+	// between hits.
+	var hit []bool
+	if cfg.Results != nil {
+		hit = make([]bool, plan.Len())
+		for i, cell := range plan.Cells() {
+			lines, ok := cfg.Results.CellLines(cfg.Def.Kind, cell.Fingerprint)
+			if !ok {
+				continue
+			}
+			hit[i] = true
+			c.cachedCells++
+			c.cachedRecords = append(c.cachedRecords, lines...)
+		}
+	}
+	for lo := 0; lo < plan.Len(); {
+		if hit != nil && hit[lo] {
+			lo++
+			continue
+		}
+		hi := lo + 1
+		for hi < plan.Len() && hi-lo < cfg.ChunkSize && !(hit != nil && hit[hi]) {
+			hi++
 		}
 		c.pending = append(c.pending, len(c.tasks))
 		c.tasks = append(c.tasks, &task{lo: lo, hi: hi})
+		lo = hi
+	}
+	c.doneCells = c.cachedCells
+	if c.cachedCells > 0 {
+		c.logf("result store served %d/%d cells; %d to compute across %d lease range(s)",
+			c.cachedCells, plan.Len(), plan.Len()-c.cachedCells, len(c.tasks))
+	}
+	if len(c.tasks) == 0 {
+		// Fully warm: nothing to lease, the sweep is already complete.
+		close(c.done)
 	}
 	return c, nil
 }
@@ -459,12 +504,25 @@ func (c *Coordinator) Complete(leaseID, worker, planFP string, body io.Reader) (
 	// Parse outside the lock: uploads may be large and slow, and other
 	// workers must keep leasing meanwhile. Racing completions for the
 	// same range serialize at the commit below; the first one in wins.
-	records, err := c.readRecords(lo, hi, body)
+	records, perCell, err := c.readRecords(lo, hi, body)
 	if err != nil {
 		// The upload was unusable; put the range back in play if this
 		// lease still holds it.
 		c.Fail(leaseID, worker, planFP, err.Error())
 		return CompleteReply{}, err
+	}
+
+	// Spill the validated upload into the result store (best-effort,
+	// still outside the lock) so a restarted sweep resumes warm. Racing
+	// duplicate completions spill identical bytes — cells are
+	// deterministic — so losing the commit race below is harmless.
+	if c.cfg.Results != nil {
+		for ci, lines := range perCell {
+			fp := c.plan.Cell(ci).Fingerprint
+			if serr := c.cfg.Results.StoreCellLines(c.def.Kind, fp, lines); serr != nil {
+				c.logf("result-store spill for cell %d: %v", ci, serr)
+			}
+		}
 	}
 
 	c.mu.Lock()
@@ -501,9 +559,11 @@ func (c *Coordinator) Complete(leaseID, worker, planFP string, body io.Reader) (
 
 // readRecords streams one upload, attributing every line to a plan cell
 // and requiring the lease's range [lo, hi) to be exactly covered: no
-// foreign cells, no holes.
-func (c *Coordinator) readRecords(lo, hi int, body io.Reader) ([][]byte, error) {
-	covered := make(map[int]bool, hi-lo)
+// foreign cells, no holes. Alongside the flat record list it returns
+// the same lines grouped per cell (in upload order within each cell) —
+// the shape the result-store spill needs.
+func (c *Coordinator) readRecords(lo, hi int, body io.Reader) ([][]byte, map[int][][]byte, error) {
+	covered := make(map[int][][]byte, hi-lo)
 	var records [][]byte
 	br := bufio.NewReaderSize(body, 64*1024)
 	line := 0
@@ -516,7 +576,7 @@ func (c *Coordinator) readRecords(lo, hi int, body io.Reader) ([][]byte, error) 
 			if len(raw) > 0 {
 				var p obsProbe
 				if jerr := json.Unmarshal(raw, &p); jerr != nil {
-					return nil, fmt.Errorf("distrib: upload line %d: %w", line, jerr)
+					return nil, nil, fmt.Errorf("distrib: upload line %d: %w", line, jerr)
 				}
 				label := p.Engine
 				if c.def.Kind == destset.PlanKindTiming {
@@ -524,43 +584,52 @@ func (c *Coordinator) readRecords(lo, hi int, body io.Reader) ([][]byte, error) 
 				}
 				ci, ok := c.cells[cellKey{label: label, workload: p.Workload, seed: p.Seed}]
 				if !ok {
-					return nil, fmt.Errorf("distrib: upload line %d names cell (%s, %s, seed %d) not in the plan",
+					return nil, nil, fmt.Errorf("distrib: upload line %d names cell (%s, %s, seed %d) not in the plan",
 						line, label, p.Workload, p.Seed)
 				}
 				if ci < lo || ci >= hi {
-					return nil, fmt.Errorf("distrib: upload line %d names cell %d outside the leased range [%d,%d)",
+					return nil, nil, fmt.Errorf("distrib: upload line %d names cell %d outside the leased range [%d,%d)",
 						line, ci, lo, hi)
 				}
-				covered[ci] = true
-				records = append(records, append([]byte(nil), raw...))
+				rec := append([]byte(nil), raw...)
+				covered[ci] = append(covered[ci], rec)
+				records = append(records, rec)
 			}
 		}
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("distrib: reading upload: %w", err)
+			return nil, nil, fmt.Errorf("distrib: reading upload: %w", err)
 		}
 	}
 	if len(covered) != hi-lo {
-		return nil, fmt.Errorf("distrib: upload covers %d of %d leased cells — incomplete run", len(covered), hi-lo)
+		return nil, nil, fmt.Errorf("distrib: upload covers %d of %d leased cells — incomplete run", len(covered), hi-lo)
 	}
-	return records, nil
+	return records, covered, nil
 }
 
 // Progress is a point-in-time view of the sweep, served live at
 // /v1/progress.
 type Progress struct {
-	Plan         string `json:"plan"`
-	Kind         string `json:"kind"`
-	Cells        int    `json:"cells"`
-	DoneCells    int    `json:"done_cells"`
-	LeasedCells  int    `json:"leased_cells"`
-	PendingCells int    `json:"pending_cells"`
+	Plan      string `json:"plan"`
+	Kind      string `json:"kind"`
+	Cells     int    `json:"cells"`
+	DoneCells int    `json:"done_cells"`
+	// CachedCells counts cells the result store served at plan build
+	// (never leased); ComputedCells counts cells completed by workers.
+	// CachedCells + ComputedCells == DoneCells.
+	CachedCells   int `json:"cached_cells"`
+	ComputedCells int `json:"computed_cells"`
+	LeasedCells   int `json:"leased_cells"`
+	PendingCells  int `json:"pending_cells"`
 	// Workers counts workers seen within the last two lease TTLs.
 	Workers int    `json:"workers"`
 	Done    bool   `json:"done"`
 	Failed  string `json:"failed,omitempty"`
+	// Results carries the coordinator's result-store counters when a
+	// store is configured.
+	Results *destset.ResultStats `json:"results,omitempty"`
 }
 
 // Progress reports the sweep's live state (and lazily expires overdue
@@ -571,13 +640,19 @@ func (c *Coordinator) Progress() Progress {
 	defer c.mu.Unlock()
 	c.expireLocked(now)
 	p := Progress{
-		Plan:         c.plan.Fingerprint(),
-		Kind:         c.def.Kind,
-		Cells:        c.plan.Len(),
-		DoneCells:    c.doneCells,
-		LeasedCells:  c.leasedCells,
-		PendingCells: c.plan.Len() - c.doneCells - c.leasedCells,
-		Done:         c.doneTasks == len(c.tasks),
+		Plan:          c.plan.Fingerprint(),
+		Kind:          c.def.Kind,
+		Cells:         c.plan.Len(),
+		DoneCells:     c.doneCells,
+		CachedCells:   c.cachedCells,
+		ComputedCells: c.doneCells - c.cachedCells,
+		LeasedCells:   c.leasedCells,
+		PendingCells:  c.plan.Len() - c.doneCells - c.leasedCells,
+		Done:          c.doneTasks == len(c.tasks),
+	}
+	if c.cfg.Results != nil {
+		stats := c.cfg.Results.Stats()
+		p.Results = &stats
 	}
 	horizon := now.Add(-2 * c.cfg.LeaseTTL)
 	for _, seen := range c.workers {
@@ -626,7 +701,7 @@ func (c *Coordinator) WriteMerged(w io.Writer) error {
 	// Snapshot the accepted record lists under the lock; they are
 	// immutable once a range completes, so the merge itself runs with
 	// the protocol unblocked.
-	total := 1
+	total := 1 + len(c.cachedRecords)
 	for _, t := range c.tasks {
 		total += len(t.records)
 	}
@@ -637,6 +712,7 @@ func (c *Coordinator) WriteMerged(w io.Writer) error {
 		return fmt.Errorf("distrib: encoding merged manifest: %w", err)
 	}
 	parts = append(parts, manifest)
+	parts = append(parts, c.cachedRecords...)
 	for _, t := range c.tasks {
 		parts = append(parts, t.records...)
 	}

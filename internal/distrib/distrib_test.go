@@ -532,3 +532,163 @@ func TestWorkerWithWarmDatasetDirGeneratesNothing(t *testing.T) {
 		t.Error("cold-worker distributed output differs from the warm local run")
 	}
 }
+
+// TestCoordinatorResumesWarmFromResultStore is the restart property:
+// accepted uploads spill into the coordinator's result store, so a
+// second coordinator over the same def and store pre-marks every cell
+// complete, leases nothing, and writes byte-identical merged output —
+// the sweep resumes warm. Covers both plan kinds.
+func TestCoordinatorResumesWarmFromResultStore(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		def  destset.SweepDef
+	}{
+		{"timing", timingDef()},
+		{"trace", traceDef()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			def := tc.def
+			want := localJSONL(t, def)
+			plan, err := def.Plan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs := destset.NewResultStore()
+
+			// First run: everything computes; uploads spill into rs.
+			coord1, client1 := serve(t, distrib.Config{
+				Def:      def,
+				LeaseTTL: 5 * time.Second,
+				Results:  rs,
+				Logf:     t.Logf,
+			})
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			if _, err := distrib.RunWorker(ctx, distrib.WorkerConfig{
+				URL:          "http://coordinator",
+				Client:       client1,
+				Name:         "w1",
+				Parallelism:  2,
+				PollInterval: 20 * time.Millisecond,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := coord1.Wait(ctx); err != nil {
+				t.Fatal(err)
+			}
+			p1 := coord1.Progress()
+			if p1.CachedCells != 0 || p1.ComputedCells != plan.Len() {
+				t.Fatalf("first run progress = %+v, want 0 cached / %d computed", p1, plan.Len())
+			}
+			if p1.Results == nil || p1.Results.Stores == 0 {
+				t.Fatalf("first run spilled nothing: %+v", p1.Results)
+			}
+
+			// Restarted coordinator, same def and store: born done.
+			coord2, client2 := serve(t, distrib.Config{
+				Def:     def,
+				Results: rs,
+				Logf:    t.Logf,
+			})
+			p2 := coord2.Progress()
+			if !p2.Done || p2.CachedCells != plan.Len() || p2.ComputedCells != 0 {
+				t.Fatalf("restarted progress = %+v, want done with %d cached / 0 computed", p2, plan.Len())
+			}
+			// A worker polling the warm coordinator gets no work.
+			stats, err := distrib.RunWorker(ctx, distrib.WorkerConfig{
+				URL:          "http://coordinator",
+				Client:       client2,
+				Name:         "idle",
+				PollInterval: 20 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Cells != 0 {
+				t.Errorf("worker computed %d cells on a warm coordinator, want 0", stats.Cells)
+			}
+			if err := coord2.Wait(ctx); err != nil {
+				t.Fatal(err)
+			}
+			var got bytes.Buffer
+			if err := coord2.WriteMerged(&got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Errorf("warm-restart merged output differs from the local run:\n--- warm\n%s\n--- local\n%s", got.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestCoordinatorLeasesOnlyStoreMisses is the incremental half of the
+// restart property: with part of the plan already in the result store
+// (warmed by a local runner over a subset of the specs), the
+// coordinator pre-marks those cells and leases only the misses.
+func TestCoordinatorLeasesOnlyStoreMisses(t *testing.T) {
+	def := timingDef() // 2 sims × 1 workload × 2 seeds = 4 cells
+	want := localJSONL(t, def)
+	plan, err := def.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm only the snooping sim's 2 cells: cell fingerprints depend on
+	// the cell's own coordinates, not the surrounding def, so a local
+	// run over the one-sim sub-def stores records the full plan reuses.
+	sub := destset.NewTimingSweepDef(
+		[]destset.SimSpec{{Protocol: destset.ProtocolSnooping}},
+		[]destset.WorkloadSpec{{Name: "oltp", Warm: 300, Measure: 300}},
+		destset.WithSeeds(1, 2),
+	)
+	rs := destset.NewResultStore()
+	r, err := sub.TimingRunner(destset.WithResultStore(rs), destset.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := rs.Stats(); st.Stores != 2 {
+		t.Fatalf("sub-def run stored %d cells, want 2", st.Stores)
+	}
+
+	coord, client := serve(t, distrib.Config{
+		Def:      def,
+		LeaseTTL: 5 * time.Second,
+		Results:  rs,
+		Logf:     t.Logf,
+	})
+	if p := coord.Progress(); p.CachedCells != 2 || p.Done {
+		t.Fatalf("partial-warm progress at start = %+v, want 2 cached, not done", p)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	stats, err := distrib.RunWorker(ctx, distrib.WorkerConfig{
+		URL:          "http://coordinator",
+		Client:       client,
+		Name:         "miss-worker",
+		Parallelism:  1,
+		PollInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cells != 2 {
+		t.Errorf("worker computed %d cells, want only the 2 store misses", stats.Cells)
+	}
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	p := coord.Progress()
+	if p.CachedCells != 2 || p.ComputedCells != 2 || p.DoneCells != plan.Len() {
+		t.Errorf("final progress = %+v, want 2 cached + 2 computed of %d", p, plan.Len())
+	}
+	var got bytes.Buffer
+	if err := coord.WriteMerged(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Error("partial-warm merged output differs from the local run")
+	}
+}

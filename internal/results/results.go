@@ -1,0 +1,252 @@
+// Package results is a content-addressed store for completed sweep-cell
+// results, keyed by the cells' stable plan fingerprints (PR 4). It is
+// the dataset store's small sibling: where internal/dataset memoizes
+// the expensive *inputs* of a sweep (generated traces), this package
+// memoizes the *outputs* — a few kilobytes of observations per cell —
+// so a rerun whose specs changed in 3 of 10,000 cells computes 3 cells.
+//
+// A store is tiered. The memory tier is always present: a map with an
+// LRU byte limit. When a result directory is configured (SetDir) an
+// on-disk content-addressed tier sits behind it: memory misses probe
+// dir/<sha256(fingerprint)>.rslt before reporting a miss, and every
+// stored record is spilled to the directory so later — and cold —
+// processes skip the computation entirely. Records are opaque payloads
+// tagged with a kind; corruption, truncation and version skew are
+// CRC-guarded misses (disk.go), healed in place by the next Put.
+package results
+
+import (
+	"container/list"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// entry is one resident record.
+type entry struct {
+	kind    string
+	payload []byte
+	elem    *list.Element // position in the store's LRU list
+}
+
+// Store memoizes result records by fingerprint. The zero value is not
+// ready; use NewStore. All methods are safe for concurrent use.
+//
+// Unlike the dataset store there is no singleflight generation: the
+// store does not know how to compute a cell, so Get simply reports a
+// miss and the caller computes and Puts. Concurrent Puts of the same
+// fingerprint carry identical bytes (results are deterministic), so
+// last-write-wins is harmless.
+type Store struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // of fingerprint, front = most recently used
+	bytes   int64
+	limit   int64
+	dir     string
+	stats   Stats
+}
+
+// Stats are a store's per-tier counters since process start, plus its
+// resident memory-tier footprint.
+type Stats struct {
+	// Records and Bytes describe the resident memory tier.
+	Records int   `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	// MemHits and MemMisses count Get calls served by (or missing) the
+	// memory tier.
+	MemHits   uint64 `json:"mem_hits"`
+	MemMisses uint64 `json:"mem_misses"`
+	// DiskHits and DiskMisses count memory misses served by (or missing)
+	// the disk tier. Both stay zero until SetDir configures one; a
+	// corrupted or mismatched file counts as a disk miss.
+	DiskHits   uint64 `json:"disk_hits"`
+	DiskMisses uint64 `json:"disk_misses"`
+	// Stores counts Put calls — cells actually computed (or spilled from
+	// an upload) rather than served from a tier. A warm store keeps this
+	// at zero across reruns.
+	Stores uint64 `json:"stores"`
+}
+
+// NewStore returns an empty store with no size limit.
+func NewStore() *Store {
+	return &Store{entries: make(map[string]*entry), lru: list.New()}
+}
+
+// SetLimit caps the store's resident record bytes; 0 (the default)
+// means unbounded. When an insert pushes the total over the limit the
+// least-recently-used records are evicted (never the one being
+// inserted). Evicted records reload from disk — or recompute — on next
+// use.
+func (s *Store) SetLimit(bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.limit = bytes
+	s.trimLocked(nil)
+}
+
+// SetDir configures the on-disk result tier rooted at dir (created if
+// missing); an empty dir disables the tier. Changing the directory
+// does not invalidate records already resident in memory.
+func (s *Store) SetDir(dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dir = dir
+	return nil
+}
+
+// Dir returns the configured result directory ("" when the disk tier
+// is disabled).
+func (s *Store) Dir() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dir
+}
+
+// Get returns the record stored under fp: from memory, else from the
+// disk tier (when configured). The returned payload is shared; do not
+// mutate it.
+func (s *Store) Get(fp string) (kind string, payload []byte, ok bool) {
+	s.mu.Lock()
+	if e, hit := s.entries[fp]; hit {
+		s.stats.MemHits++
+		s.lru.MoveToFront(e.elem)
+		s.mu.Unlock()
+		return e.kind, e.payload, true
+	}
+	s.stats.MemMisses++
+	dir := s.dir
+	s.mu.Unlock()
+	if dir == "" {
+		return "", nil, false
+	}
+	kind, payload, err := ReadFile(Path(dir, fp), fp)
+	s.mu.Lock()
+	if err != nil {
+		s.stats.DiskMisses++
+		s.mu.Unlock()
+		return "", nil, false
+	}
+	s.stats.DiskHits++
+	s.insertLocked(fp, kind, payload)
+	s.mu.Unlock()
+	return kind, payload, true
+}
+
+// Put stores a record under fp, replacing any resident one, and spills
+// it to the disk tier best-effort (a read-only or full directory must
+// not fail the sweep; it only costs the next cold start). Rewriting a
+// fingerprint whose file was corrupted heals it in place. The payload
+// is retained; do not mutate it afterwards.
+func (s *Store) Put(kind, fp string, payload []byte) {
+	s.mu.Lock()
+	s.stats.Stores++
+	if e, hit := s.entries[fp]; hit {
+		s.removeLocked(fp, e)
+	}
+	s.insertLocked(fp, kind, payload)
+	dir := s.dir
+	s.mu.Unlock()
+	if dir != "" {
+		_ = WriteFile(Path(dir, fp), kind, fp, payload)
+	}
+}
+
+// insertLocked adds one record to the memory tier and trims to the
+// byte limit. Callers hold s.mu.
+func (s *Store) insertLocked(fp, kind string, payload []byte) {
+	e := &entry{kind: kind, payload: payload}
+	e.elem = s.lru.PushFront(fp)
+	s.entries[fp] = e
+	s.bytes += int64(len(payload))
+	s.trimLocked(e)
+}
+
+// trimLocked evicts LRU records until the byte total fits the limit,
+// sparing keep (the record just inserted). Callers hold s.mu.
+func (s *Store) trimLocked(keep *entry) {
+	if s.limit <= 0 {
+		return
+	}
+	for s.bytes > s.limit {
+		back := s.lru.Back()
+		if back == nil {
+			return
+		}
+		fp := back.Value.(string)
+		e := s.entries[fp]
+		if e == keep {
+			// The newest record may alone exceed the limit; keep it
+			// rather than thrash.
+			if s.lru.Len() == 1 {
+				return
+			}
+			s.lru.MoveToFront(back)
+			continue
+		}
+		s.removeLocked(fp, e)
+	}
+}
+
+// removeLocked drops one resident record. Callers hold s.mu.
+func (s *Store) removeLocked(fp string, e *entry) {
+	delete(s.entries, fp)
+	s.lru.Remove(e.elem)
+	s.bytes -= int64(len(e.payload))
+}
+
+// Purge drops every record from the memory tier and returns how many
+// were dropped. The disk tier is not touched: spilled files stay valid
+// and purged fingerprints reload from disk on next use. Use PurgeDir
+// to drop the disk tier.
+func (s *Store) Purge() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.entries)
+	s.entries = make(map[string]*entry)
+	s.lru.Init()
+	s.bytes = 0
+	return n
+}
+
+// PurgeDir removes every record file from the configured disk tier —
+// including any ".rslt-*" temp files orphaned by a crash between
+// WriteFile's create and rename — and returns how many were removed.
+// It is a no-op (0, nil) when no directory is configured. Memory-tier
+// residents are unaffected.
+func (s *Store) PurgeDir() (int, error) {
+	dir := s.Dir()
+	if dir == "" {
+		return 0, nil
+	}
+	removed := 0
+	for _, pattern := range []string{"*.rslt", ".rslt-*"} {
+		matches, err := filepath.Glob(filepath.Join(dir, pattern))
+		if err != nil {
+			return removed, err
+		}
+		for _, path := range matches {
+			if err := os.Remove(path); err != nil {
+				return removed, err
+			}
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+// Stats reports the store's per-tier counters since process start and
+// the resident memory-tier footprint.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Records = s.lru.Len()
+	st.Bytes = s.bytes
+	return st
+}

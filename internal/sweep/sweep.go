@@ -109,6 +109,27 @@ type Config struct {
 	// indices instead (see SubsetIndices) — the leased-range entry point
 	// distributed workers use. Mutually exclusive with Shards > 1.
 	Cells []int
+	// Cache, when non-nil, is consulted once per selected cell before
+	// the prewarm phase: cells it serves replay their stored
+	// observations through Observe and skip execution entirely — their
+	// stream sources are not even prewarmed — while the rest compute as
+	// usual and are offered back through Store. The facade's result
+	// store plugs in here.
+	Cache CellCache
+}
+
+// CellCache serves completed cells by plan index. Implementations map
+// indices to stable cell fingerprints (the facade's SweepPlan does) and
+// may decline any cell. Lookup calls happen serially before the sweep's
+// cells run; Store calls arrive concurrently from the worker pool and
+// must be safe for concurrent use.
+type CellCache interface {
+	// Lookup returns cell i's completed result and its observation
+	// stream, or ok=false to have the cell computed.
+	Lookup(i int) (res *Result, obs []Observation, ok bool)
+	// Store offers back a freshly-computed cell with the observations
+	// it emitted.
+	Store(i int, res Result, obs []Observation)
 }
 
 func (c Config) seeds() []uint64 {
@@ -166,13 +187,32 @@ func Run(ctx context.Context, engines []Engine, workloads []Workload, cfg Config
 		return nil, err
 	}
 
+	// Cache phase: resolve every cell the cache can serve up front, so
+	// the prewarm below materializes only the stream sources that will
+	// actually be opened — a fully-warm rerun touches no dataset at all.
+	// The lookups run serially, which keeps the cache's hit/miss
+	// counters deterministic (one lookup per cell).
+	var hits []*cellHit
+	live := subset
+	if cfg.Cache != nil {
+		hits = make([]*cellHit, len(cells))
+		live = make([]int, 0, len(subset))
+		for _, i := range subset {
+			if res, obs, ok := cfg.Cache.Lookup(i); ok && res != nil {
+				hits[i] = &cellHit{res: res, obs: obs}
+			} else {
+				live = append(live, i)
+			}
+		}
+	}
+
 	// Prewarm phase: materialize every shared stream source this shard's
 	// cells will open — once per (workload, seed) — before any cell runs.
 	// Without it, the first cells of each workload would race to open the
 	// same source and all but one worker would idle behind the winner's
 	// generation. Restricting the jobs to the shard's subset keeps shard
 	// processes from generating datasets only other shards replay.
-	jobs := PrewarmJobsFor(subset, func(i int) PrewarmJob {
+	jobs := PrewarmJobsFor(live, func(i int) PrewarmJob {
 		return PrewarmJob{W: cells[i].wi, Seed: cells[i].seed}
 	})
 	err = Prewarm(ctx, cfg.parallelism(), jobs,
@@ -194,8 +234,42 @@ func Run(ctx context.Context, engines []Engine, workloads []Workload, cfg Config
 	}
 
 	return Collect(ctx, subset, cfg.parallelism(), func(ctx context.Context, i int) (*Result, error) {
-		return runCell(ctx, cells[i], cfg.Interval, observe)
+		if hits != nil && hits[i] != nil {
+			h := hits[i]
+			if observe != nil {
+				for _, o := range h.obs {
+					observe(o)
+				}
+			}
+			return h.res, nil
+		}
+		if cfg.Cache == nil {
+			return runCell(ctx, cells[i], cfg.Interval, observe)
+		}
+		// Capture the cell's observation stream regardless of whether the
+		// caller set an observer, so the stored record can replay it to a
+		// future run that does.
+		var obs []Observation
+		capture := func(o Observation) {
+			obs = append(obs, o)
+			if observe != nil {
+				observe(o)
+			}
+		}
+		res, err := runCell(ctx, cells[i], cfg.Interval, capture)
+		if err != nil || res == nil {
+			return res, err
+		}
+		cfg.Cache.Store(i, *res, obs)
+		return res, nil
 	})
+}
+
+// cellHit is one cache-served cell: the completed result and the
+// observation stream to replay in the cell's execution slot.
+type cellHit struct {
+	res *Result
+	obs []Observation
 }
 
 // PrewarmJob names one (workload index, seed) stream source to

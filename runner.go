@@ -55,7 +55,11 @@ type runnerConfig struct {
 	// timingObserver streams per-cell timing observations; it is only
 	// consulted by the TimingRunner (see WithTimingObserver).
 	timingObserver TimingObserver
-	ctx            context.Context
+	// resultStore, when non-nil, serves completed cells and absorbs
+	// freshly-computed ones (see WithResultStore); nil falls back to the
+	// shared store once SetResultDir has armed it.
+	resultStore *ResultStore
+	ctx         context.Context
 }
 
 // RunnerOption tunes a Runner.
@@ -214,6 +218,26 @@ func (r *Runner) Run(ctx context.Context) ([]RunResult, error) {
 	if r.cfg.observer != nil {
 		observe = r.cfg.observer
 	}
+	// Result store: completed cells are served from the store (their
+	// stored observation streams replay through the observer) and only
+	// misses execute — see resultstore.go.
+	var cache sweep.CellCache
+	if store := r.cfg.resolveResultStore(); store != nil {
+		plan, perr := r.Plan()
+		if perr != nil {
+			return nil, perr
+		}
+		cacheable := make([]bool, len(r.workloads))
+		for i, w := range r.workloads {
+			cacheable[i] = w.Open == nil
+		}
+		cache = &traceCellCache{
+			store:     store,
+			plan:      plan,
+			cacheable: cacheable,
+			stride:    len(r.engines) * len(r.cfg.seeds),
+		}
+	}
 	results, err := sweep.Run(ctx, engines, workloads, sweep.Config{
 		Seeds:       r.cfg.seeds,
 		Parallelism: r.cfg.parallelism,
@@ -222,6 +246,7 @@ func (r *Runner) Run(ctx context.Context) ([]RunResult, error) {
 		Shard:       r.cfg.shard,
 		Shards:      r.cfg.shards,
 		Cells:       r.cfg.cells,
+		Cache:       cache,
 	})
 	out := make([]RunResult, len(results))
 	for i, res := range results {
