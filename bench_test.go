@@ -393,6 +393,7 @@ func BenchmarkLeaseDispatch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer coord.Close()
 	l := distrib.NewMemListener()
 	srv := &http.Server{Handler: distrib.NewHandler(coord)}
 	go srv.Serve(l)

@@ -33,8 +33,21 @@
 // lingers for -linger, still answering "done", so idle workers observe
 // completion and exit cleanly.
 //
+// -state-dir makes the coordinator crash-safe: every lease-table
+// transition is appended to a CRC-guarded write-ahead log with periodic
+// compacted checkpoints, and accepted uploads are spilled there as
+// content-addressed files. A coordinator killed mid-sweep — even with
+// kill -9 — restarts over the same -state-dir, replays its state,
+// re-adopts completed ranges without re-leasing them, requeues whatever
+// was in flight, and produces byte-identical output. Without -state-dir
+// the spill directory is a private temp dir and a crash loses progress
+// (unless -result-dir caches it).
+//
 // Ctrl-C cancels the run; the output file is written atomically
 // (temp + rename), so an interrupted coordinator leaves no torn file.
+// SIGTERM drains instead: the coordinator stops granting leases,
+// checkpoints its state, reports progress, and exits 0 so a later
+// sweepd over the same -state-dir picks up exactly where it stopped.
 package main
 
 import (
@@ -49,6 +62,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"destset"
@@ -75,6 +89,7 @@ func main() {
 		maxAttempts = flag.Int("max-attempts", 5, "grants per cell range before the sweep fails")
 		linger      = flag.Duration("linger", 3*time.Second, "how long to keep answering workers after the output is written")
 		resultDir   = flag.String("result-dir", "", "persistent result store: known cells are pre-marked complete, accepted uploads spill back")
+		stateDir    = flag.String("state-dir", "", "crash-safe coordinator state: lease WAL, checkpoints and spilled uploads; restart with the same dir to resume")
 		quiet       = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
@@ -113,12 +128,38 @@ func main() {
 		ChunkSize:   *chunk,
 		LeaseTTL:    *leaseTTL,
 		MaxAttempts: *maxAttempts,
+		StateDir:    *stateDir,
 		Logf:        logf,
 		Results:     results,
 	})
 	if err != nil {
 		fail(err)
 	}
+	defer coord.Close()
+
+	// SIGTERM drains: stop granting, persist a checkpoint, report where
+	// the sweep stands, and exit 0 — a later sweepd over the same
+	// -state-dir resumes from exactly this point. Ctrl-C (above) stays
+	// the hard cancel.
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, syscall.SIGTERM)
+	go func() {
+		<-term
+		coord.Drain()
+		if err := coord.Checkpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "sweepd: drain checkpoint:", err)
+		}
+		p := coord.Progress()
+		if *stateDir != "" {
+			fmt.Fprintf(os.Stderr, "sweepd: drained: %d/%d cells done (%d leased, %d pending); resume with -state-dir %s\n",
+				p.DoneCells, p.Cells, p.LeasedCells, p.PendingCells, *stateDir)
+		} else {
+			fmt.Fprintf(os.Stderr, "sweepd: drained: %d/%d cells done (%d leased, %d pending); no -state-dir, progress is not resumable\n",
+				p.DoneCells, p.Cells, p.LeasedCells, p.PendingCells)
+		}
+		coord.Close()
+		os.Exit(0)
+	}()
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,102 @@
+// Command sweepscale is the autoscaling worker supervisor: it polls a
+// cmd/sweepd coordinator's /v1/progress and keeps a fleet of local
+// cmd/sweepwork processes sized to the remaining backlog — launching
+// immediately when cells pile up, retiring with hysteresis when the
+// sweep winds down, and exiting once the coordinator reports the sweep
+// done (or failed). A run therefore traces the 0→N→0 worker curve the
+// CI smoke job asserts on.
+//
+// Usage:
+//
+//	sweepscale -coordinator http://host:port [-min 0] [-max 4]
+//	           [-cells-per-worker 4] [-poll 1s] [-scale-down-after 3]
+//	           [-worker sweepwork] [--] [worker args...]
+//
+// Everything after "--" is passed through to each sweepwork process
+// verbatim (e.g. -dataset-dir, -parallel, -quiet); sweepscale appends
+// -coordinator and a unique -name itself. Workers are retired with an
+// interrupt signal and given a grace period before being killed.
+// Exits 0 when the sweep completes, 1 on errors, 130 on Ctrl-C.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"time"
+
+	"destset/internal/distrib"
+)
+
+func main() {
+	var (
+		coordinator    = flag.String("coordinator", "", "coordinator base URL (required), e.g. http://127.0.0.1:7607")
+		minWorkers     = flag.Int("min", 0, "minimum workers to keep running")
+		maxWorkers     = flag.Int("max", 4, "maximum concurrent workers")
+		cellsPerWorker = flag.Int("cells-per-worker", 4, "target backlog per worker")
+		poll           = flag.Duration("poll", time.Second, "progress polling interval")
+		scaleDownAfter = flag.Int("scale-down-after", 3, "consecutive low polls before retiring a surplus worker")
+		workerBin      = flag.String("worker", "sweepwork", "worker binary to launch (path or name on $PATH)")
+		quiet          = flag.Bool("quiet", false, "suppress scaling decision logging")
+	)
+	flag.Parse()
+	workerArgs := flag.Args() // everything after "--"
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fail := func(err error) {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "sweepscale: interrupted")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "sweepscale:", err)
+		os.Exit(1)
+	}
+	if *coordinator == "" {
+		fail(fmt.Errorf("-coordinator is required"))
+	}
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	launch := func(ctx context.Context, name string) error {
+		args := append([]string{}, workerArgs...)
+		args = append(args, "-coordinator", *coordinator, "-name", name)
+		cmd := exec.CommandContext(ctx, *workerBin, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		// Retire politely: interrupt first so the worker abandons its
+		// lease loop cleanly, kill only if it lingers.
+		cmd.Cancel = func() error { return cmd.Process.Signal(os.Interrupt) }
+		cmd.WaitDelay = 5 * time.Second
+		err := cmd.Run()
+		if ctx.Err() != nil {
+			// A retired worker's exit status (130, or 1 if it raced the
+			// coordinator going away) is expected, not an error.
+			return nil
+		}
+		return err
+	}
+
+	stats, err := distrib.RunScaler(ctx, distrib.ScaleConfig{
+		URL:            *coordinator,
+		Poll:           *poll,
+		Min:            *minWorkers,
+		Max:            *maxWorkers,
+		CellsPerWorker: *cellsPerWorker,
+		ScaleDownAfter: *scaleDownAfter,
+		Launch:         launch,
+		Logf:           logf,
+	})
+	if err != nil {
+		fail(err)
+	}
+	logf("sweepscale: done: %d launched, %d retired, peak %d", stats.Launched, stats.Retired, stats.Peak)
+}

@@ -1,0 +1,275 @@
+package distrib_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"destset"
+	"destset/internal/distrib"
+)
+
+// uploadRange completes one lease by uploading its cells' records.
+func uploadRange(t *testing.T, coord *distrib.Coordinator, lease distrib.Lease, worker, fp string, records map[int][]string) distrib.CompleteReply {
+	t.Helper()
+	var lines []string
+	for i := lease.Lo; i < lease.Hi; i++ {
+		lines = append(lines, records[i]...)
+	}
+	reply, err := coord.Complete(lease.ID, worker, fp, strings.NewReader(strings.Join(lines, "\n")+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reply
+}
+
+// finishSweep drives the coordinator API as a single worker until the
+// sweep reports done, returning every range it was granted.
+func finishSweep(t *testing.T, coord *distrib.Coordinator, worker, fp string, records map[int][]string) []distrib.Lease {
+	t.Helper()
+	var granted []distrib.Lease
+	for {
+		reply, err := coord.Lease(worker, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.Done {
+			return granted
+		}
+		if reply.Failed != "" {
+			t.Fatalf("sweep failed: %s", reply.Failed)
+		}
+		if reply.Lease == nil {
+			t.Fatal("nothing grantable, but the sweep is not done")
+		}
+		granted = append(granted, *reply.Lease)
+		uploadRange(t, coord, *reply.Lease, worker, fp, records)
+	}
+}
+
+// TestCoordinatorCrashResume is the ISSUE acceptance pin: a coordinator
+// with a state dir is abandoned mid-sweep without any shutdown — the
+// in-process equivalent of kill -9 — and a fresh coordinator over the
+// same dir resumes it: completed ranges are re-adopted (never
+// re-leased), the in-flight lease is requeued, and the final merged
+// output is byte-identical to the uninterrupted single-process run.
+// Covers both plan kinds; the tiny CheckpointEvery forces a live WAL
+// compaction mid-sweep so resume exercises checkpoint + tail replay,
+// not just one or the other.
+func TestCoordinatorCrashResume(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		def  destset.SweepDef
+	}{
+		{"timing", timingDef()},
+		{"trace", traceDef()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			def := tc.def
+			want := localJSONL(t, def)
+			records := cellRecords(t, def)
+			plan, err := def.Plan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp := plan.Fingerprint()
+			cfg := distrib.Config{
+				Def:             def,
+				ChunkSize:       1,
+				LeaseTTL:        time.Minute,
+				StateDir:        t.TempDir(),
+				CheckpointEvery: 2,
+				Logf:            t.Logf,
+			}
+
+			// First incarnation: complete two ranges, leave a third
+			// in flight, then "crash" — no Close, no Checkpoint.
+			coord1, err := distrib.NewCoordinator(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var completed []distrib.Lease
+			for i := 0; i < 2; i++ {
+				reply, err := coord1.Lease("pre-crash", fp)
+				if err != nil || reply.Lease == nil {
+					t.Fatalf("pre-crash lease %d = %+v, %v", i, reply, err)
+				}
+				uploadRange(t, coord1, *reply.Lease, "pre-crash", fp, records)
+				completed = append(completed, *reply.Lease)
+			}
+			inflight, err := coord1.Lease("pre-crash", fp)
+			if err != nil || inflight.Lease == nil {
+				t.Fatalf("in-flight lease = %+v, %v", inflight, err)
+			}
+			doneBefore := coord1.Progress().DoneCells
+
+			// Second incarnation over the same dir.
+			coord2, err := distrib.NewCoordinator(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer coord2.Close()
+			p := coord2.Progress()
+			if p.DoneCells != doneBefore {
+				t.Fatalf("resumed with %d cells done, crashed with %d", p.DoneCells, doneBefore)
+			}
+			if p.LeasedCells != 0 {
+				t.Fatalf("resumed with %d cells still leased; the dead incarnation's lease must be requeued", p.LeasedCells)
+			}
+
+			granted := finishSweep(t, coord2, "post-crash", fp, records)
+			for _, g := range granted {
+				for _, c := range completed {
+					if g.Lo < c.Hi && c.Lo < g.Hi {
+						t.Errorf("resumed coordinator re-leased completed cells [%d,%d) as [%d,%d)",
+							c.Lo, c.Hi, g.Lo, g.Hi)
+					}
+				}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			if err := coord2.Wait(ctx); err != nil {
+				t.Fatal(err)
+			}
+
+			var got bytes.Buffer
+			if err := coord2.WriteMerged(&got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Errorf("resumed merged output differs from the uninterrupted run:\n--- resumed\n%s\n--- local\n%s",
+					got.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestCrashResumeCarriesAttempts pins that the retry budget survives
+// restarts: a grant burned before the crash still counts after resume,
+// so a range cannot dodge MaxAttempts by crashing the coordinator.
+func TestCrashResumeCarriesAttempts(t *testing.T) {
+	def := timingDef()
+	clock := &testClock{now: time.Unix(1_700_000_000, 0)}
+	cfg := distrib.Config{
+		Def:         def,
+		ChunkSize:   100, // one range: every grant hands out the same cells
+		LeaseTTL:    time.Second,
+		MaxAttempts: 2,
+		StateDir:    t.TempDir(),
+		Now:         clock.Now,
+		Logf:        t.Logf,
+	}
+	plan, _ := def.Plan()
+	fp := plan.Fingerprint()
+
+	coord1, err := distrib.NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply, err := coord1.Lease("crashy", fp); err != nil || reply.Lease == nil {
+		t.Fatalf("attempt 1 = %+v, %v", reply, err)
+	}
+	// Crash with the lease in flight; attempt 1 is spent.
+
+	coord2, err := distrib.NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord2.Close()
+	reply, err := coord2.Lease("crashy", fp)
+	if err != nil || reply.Lease == nil {
+		t.Fatalf("attempt 2 after resume = %+v, %v", reply, err)
+	}
+	clock.Advance(2 * time.Second) // expire attempt 2
+	reply, err = coord2.Lease("crashy", fp)
+	if err != nil || reply.Failed == "" {
+		t.Fatalf("post-budget lease = %+v, %v; want sweep failure (attempt 1 must survive the crash)", reply, err)
+	}
+}
+
+// TestResumeRefusesDifferentPlan: a state dir belongs to one sweep; a
+// coordinator for a different def must refuse it rather than mixing two
+// sweeps' state.
+func TestResumeRefusesDifferentPlan(t *testing.T) {
+	dir := t.TempDir()
+	coord1, err := distrib.NewCoordinator(distrib.Config{Def: timingDef(), StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord1.Close()
+	if _, err := distrib.NewCoordinator(distrib.Config{Def: traceDef(), StateDir: dir}); err == nil ||
+		!strings.Contains(err.Error(), "resume must use the same def") {
+		t.Fatalf("foreign state dir: err = %v, want a same-def refusal", err)
+	}
+}
+
+// TestSpilledUploadsAndWideMerge is the bounded-memory pin: with more
+// ranges than the merge fan-in (70 single-cell tasks > 64), every
+// accepted upload must be present as a spill file on disk — the
+// coordinator holds no records — and WriteMerged must still reproduce
+// the single-process stream byte for byte, twice (spills are re-read,
+// not consumed).
+func TestSpilledUploadsAndWideMerge(t *testing.T) {
+	seeds := make([]uint64, 35)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	def := destset.NewTimingSweepDef(
+		[]destset.SimSpec{
+			{Protocol: destset.ProtocolSnooping},
+			{Protocol: destset.ProtocolDirectory},
+		},
+		[]destset.WorkloadSpec{{Name: "oltp", Warm: 100, Measure: 100}},
+		destset.WithSeeds(seeds...),
+	)
+	want := localJSONL(t, def)
+	records := cellRecords(t, def)
+	plan, err := def.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Len() <= 64 {
+		t.Fatalf("plan has %d cells; the test needs more than the merge fan-in (64)", plan.Len())
+	}
+	fp := plan.Fingerprint()
+	stateDir := t.TempDir()
+	coord, err := distrib.NewCoordinator(distrib.Config{
+		Def:       def,
+		ChunkSize: 1,
+		LeaseTTL:  time.Minute,
+		StateDir:  stateDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	finishSweep(t, coord, "spiller", fp, records)
+
+	entries, err := os.ReadDir(filepath.Join(stateDir, "spill"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != plan.Len() {
+		t.Errorf("%d spill files for %d completed single-cell ranges; every accepted upload must be spilled",
+			len(entries), plan.Len())
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".jsonl") {
+			t.Errorf("unexpected file %q in the spill dir (leaked temp file?)", e.Name())
+		}
+	}
+
+	for pass := 0; pass < 2; pass++ {
+		var got bytes.Buffer
+		if err := coord.WriteMerged(&got); err != nil {
+			t.Fatalf("merge pass %d: %v", pass, err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Errorf("merge pass %d differs from the single-process stream", pass)
+		}
+	}
+}

@@ -15,12 +15,19 @@
 // already failed it). Double completions — a slow worker finishing after
 // its expired lease was re-run elsewhere — are deduplicated
 // deterministically: the first valid completion of a range wins and
-// later ones are acknowledged but discarded. When every cell is
-// complete, the coordinator reassembles the per-lease record streams
-// with destset.MergeObservations into a single plan-ordered JSONL file
-// byte-identical to what the same sweep writes in one process at
-// parallelism 1 — the invariant that makes the whole service testable
-// end to end.
+// later ones are acknowledged but discarded.
+//
+// The coordinator itself holds no observation records: every accepted
+// upload is streamed to a content-addressed spill file (spill.go), so
+// residency is O(open leases) regardless of sweep size, and the final
+// output is an external k-way merge (destset.MergeStreams) over the
+// spill files — byte-identical to what the same sweep writes in one
+// process at parallelism 1, the invariant that makes the whole service
+// testable end to end. With a -state-dir, every lease-table transition
+// is also appended to a CRC-guarded WAL with periodic compacted
+// checkpoints (wal.go): a coordinator killed mid-sweep and restarted
+// over the same state dir re-adopts completed ranges, requeues in-flight
+// leases, and resumes the same sweep under the same plan fingerprint.
 package distrib
 
 import (
@@ -66,6 +73,16 @@ type Config struct {
 	// MaxAttempts bounds how often one range may be granted before the
 	// coordinator declares the sweep failed; <= 0 means 5.
 	MaxAttempts int
+	// StateDir, when non-empty, makes the coordinator crash-safe: spill
+	// files live under it, every lease-table transition is WAL-logged,
+	// and a coordinator restarted over the same dir resumes the sweep
+	// instead of restarting it. Empty means ephemeral — spills go to a
+	// private temp dir removed by Close, and nothing survives the
+	// process.
+	StateDir string
+	// CheckpointEvery compacts the WAL into a fresh checkpoint after
+	// this many logged events; <= 0 means 1024.
+	CheckpointEvery int
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
 	// Logf, when non-nil, receives live progress lines (grants,
@@ -90,7 +107,8 @@ const (
 )
 
 // task is one contiguous range of plan cell indices [lo, hi) — the unit
-// of leasing, retry and completion.
+// of leasing, retry and completion. Tasks partition the plan: every
+// cell belongs to exactly one task, and tasks are ordered by lo.
 type task struct {
 	lo, hi   int
 	state    taskState
@@ -103,8 +121,11 @@ type task struct {
 	// lastFailed is the worker whose lease over this range last expired
 	// or failed; re-grants prefer a different worker.
 	lastFailed string
-	// records are the accepted completion's raw JSONL observation lines.
-	records [][]byte
+	// spill names the completed range's spill file under the state's
+	// spill dir (state taskDone); cached marks ranges served by the
+	// result store rather than computed by a worker.
+	spill  string
+	cached bool
 }
 
 // cellKey is a cell's identity as observation records name it.
@@ -114,7 +135,16 @@ type cellKey struct {
 	seed     uint64
 }
 
-// Coordinator owns one sweep: the plan, the lease queue and the accepted
+// maxCachedRun caps how many store-served cells one synthesized spill
+// covers, bounding build-time residency on warm resumes.
+const maxCachedRun = 1024
+
+// mergeFanIn bounds WriteMerged's k-way fan-in: beyond this many
+// completed ranges, consecutive spills are concatenated (they are
+// plan-ordered) so the merge holds at most this many open streams.
+const mergeFanIn = 64
+
+// Coordinator owns one sweep: the plan, the lease queue and the spilled
 // results. All methods are safe for concurrent use; the HTTP handlers in
 // server.go are thin wrappers over them.
 type Coordinator struct {
@@ -124,13 +154,8 @@ type Coordinator struct {
 	datasets []destset.SweepDataset
 	cells    map[cellKey]int // cell identity -> plan index
 
-	// cachedRecords are the observation lines of every cell the result
-	// store served at plan build, in plan order; cachedCells counts
-	// those cells. Both are immutable after NewCoordinator.
-	cachedRecords [][]byte
-	cachedCells   int
-
 	mu      sync.Mutex
+	st      *walState
 	tasks   []*task
 	pending []int // task indices, front = next granted
 	// leased holds the currently-granted task indices, so lazy expiry
@@ -140,17 +165,24 @@ type Coordinator struct {
 	nextLease   int
 	doneTasks   int
 	doneCells   int
+	cachedCells int
 	leasedCells int
+	draining    bool
+	stateWarned bool
 	failed      error
 	done        chan struct{} // closed when all tasks complete or the sweep fails
 	workers     map[string]time.Time
 }
 
 // NewCoordinator validates the definition, computes the plan and splits
-// it into lease ranges. It fails on defs whose cells are not uniquely
-// labeled — observation records name cells by (label, workload, seed),
-// and ambiguous labels would make uploads unattributable, exactly as
-// MergeObservations refuses them.
+// it into lease ranges — or, when cfg.StateDir holds a prior
+// incarnation's checkpoint for the same plan, resumes it: the WAL is
+// replayed over the checkpoint, completed ranges are re-adopted after
+// their spill files revalidate, and in-flight leases are requeued.
+// It fails on defs whose cells are not uniquely labeled — observation
+// records name cells by (label, workload, seed), and ambiguous labels
+// would make uploads unattributable, exactly as MergeObservations
+// refuses them.
 func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if cfg.ChunkSize <= 0 {
 		cfg.ChunkSize = 1
@@ -160,6 +192,9 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 5
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1024
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
@@ -192,47 +227,326 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		done:     make(chan struct{}),
 		workers:  make(map[string]time.Time),
 	}
-	// Result-store phase: cells the store can already serve are
-	// pre-marked complete — their stored observation lines go straight
-	// into the merged output and the cells are never leased. Only the
-	// misses become lease ranges, chunked over the contiguous runs
-	// between hits.
+
+	var cp *checkpoint
+	var events []walEvent
+	if cfg.StateDir != "" {
+		c.st, cp, events, err = openWALState(cfg.StateDir, cfg.CheckpointEvery)
+	} else {
+		c.st, err = newEphemeralState()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cp != nil {
+		err = c.resume(cp, events)
+	} else {
+		err = c.build()
+	}
+	if err != nil {
+		c.st.close()
+		return nil, err
+	}
+
+	for i, t := range c.tasks {
+		if t.state == taskDone {
+			c.doneTasks++
+			c.doneCells += t.hi - t.lo
+			if t.cached {
+				c.cachedCells += t.hi - t.lo
+			}
+		}
+		_ = i
+	}
+	if c.cachedCells > 0 {
+		c.logf("result store served %d/%d cells; %d to compute",
+			c.cachedCells, plan.Len(), plan.Len()-c.doneCells)
+	}
+	// Durable truth at birth: the compacted checkpoint of the (re)built
+	// lease table. A failure here disables durability but not the sweep.
+	if err := c.st.commit(c.snapshotLocked()); err != nil {
+		c.stateWarned = true
+		c.logf("%v", err)
+	}
+	if c.failed != nil || c.doneTasks == len(c.tasks) {
+		close(c.done)
+	}
+	return c, nil
+}
+
+// build lays out a fresh sweep's tasks: contiguous runs of result-store
+// hits become completed ranges (their spills synthesized from stored
+// lines), the misses between them become chunked pending lease ranges.
+func (c *Coordinator) build() error {
+	plan := c.plan
 	var hit []bool
-	if cfg.Results != nil {
+	if c.cfg.Results != nil {
 		hit = make([]bool, plan.Len())
 		for i, cell := range plan.Cells() {
-			lines, ok := cfg.Results.CellLines(cfg.Def.Kind, cell.Fingerprint)
-			if !ok {
-				continue
+			if _, ok := c.cfg.Results.CellLines(c.def.Kind, cell.Fingerprint); ok {
+				hit[i] = true
 			}
-			hit[i] = true
-			c.cachedCells++
-			c.cachedRecords = append(c.cachedRecords, lines...)
 		}
 	}
 	for lo := 0; lo < plan.Len(); {
 		if hit != nil && hit[lo] {
-			lo++
+			hi := lo + 1
+			for hi < plan.Len() && hi-lo < maxCachedRun && hit[hi] {
+				hi++
+			}
+			name, err := c.spillStored(lo, hi)
+			if err != nil {
+				return err
+			}
+			c.tasks = append(c.tasks, &task{lo: lo, hi: hi, state: taskDone, cached: true, spill: name})
+			lo = hi
 			continue
 		}
 		hi := lo + 1
-		for hi < plan.Len() && hi-lo < cfg.ChunkSize && !(hit != nil && hit[hi]) {
+		for hi < plan.Len() && hi-lo < c.cfg.ChunkSize && !(hit != nil && hit[hi]) {
 			hi++
 		}
 		c.pending = append(c.pending, len(c.tasks))
 		c.tasks = append(c.tasks, &task{lo: lo, hi: hi})
 		lo = hi
 	}
-	c.doneCells = c.cachedCells
-	if c.cachedCells > 0 {
-		c.logf("result store served %d/%d cells; %d to compute across %d lease range(s)",
-			c.cachedCells, plan.Len(), plan.Len()-c.cachedCells, len(c.tasks))
+	return nil
+}
+
+// spillStored synthesizes the spill file for a range fully served by
+// the result store.
+func (c *Coordinator) spillStored(lo, hi int) (string, error) {
+	perCell := make([][][]byte, hi-lo)
+	for i := lo; i < hi; i++ {
+		lines, ok := c.cfg.Results.CellLines(c.def.Kind, c.plan.Cell(i).Fingerprint)
+		if !ok {
+			return "", fmt.Errorf("distrib: result store no longer serves cell %d", i)
+		}
+		perCell[i-lo] = lines
 	}
-	if len(c.tasks) == 0 {
-		// Fully warm: nothing to lease, the sweep is already complete.
-		close(c.done)
+	return writeSpill(c.st.spillDir, c.def.Kind, c.plan.Fingerprint(), lo, hi, perCell)
+}
+
+// resume rebuilds the lease table a prior incarnation checkpointed,
+// replays the WAL events logged after the checkpoint, and reconciles:
+// in-flight leases are requeued to the front (their grants already
+// counted against the attempt budget; surviving workers' heartbeats get
+// ErrLeaseGone, but a completion they upload for the old lease id is
+// still adopted), completed ranges are kept only if their spill files
+// revalidate, and pending ranges the result store can now serve whole
+// are completed without leasing.
+func (c *Coordinator) resume(cp *checkpoint, events []walEvent) error {
+	fp := c.plan.Fingerprint()
+	if cp.Plan != fp || cp.Kind != c.def.Kind {
+		return fmt.Errorf("distrib: state dir %q holds a %s sweep with plan %s, not this %s sweep (plan %s) — resume must use the same def",
+			c.cfg.StateDir, cp.Kind, cp.Plan, c.def.Kind, fp)
 	}
-	return c, nil
+	next := 0
+	for ti, tc := range cp.Tasks {
+		if tc.Lo != next || tc.Hi <= tc.Lo || tc.Hi > c.plan.Len() {
+			return fmt.Errorf("%w: checkpoint task %d covers [%d,%d), want a partition resuming at %d",
+				ErrStateCorrupt, ti, tc.Lo, tc.Hi, next)
+		}
+		next = tc.Hi
+		t := &task{lo: tc.Lo, hi: tc.Hi, attempts: tc.Attempts, cached: tc.Cached,
+			lastFailed: tc.LastFailed, spill: tc.Spill}
+		switch tc.State {
+		case "pending":
+			t.state = taskPending
+		case "leased":
+			t.state = taskLeased
+			t.leaseID, t.worker = tc.Lease, tc.Worker
+			c.leased[ti] = true
+			c.leases[tc.Lease] = ti
+		case "done":
+			t.state = taskDone
+		default:
+			return fmt.Errorf("%w: checkpoint task %d in unknown state %q", ErrStateCorrupt, ti, tc.State)
+		}
+		c.tasks = append(c.tasks, t)
+	}
+	if next != c.plan.Len() {
+		return fmt.Errorf("%w: checkpoint tasks cover %d of %d plan cells", ErrStateCorrupt, next, c.plan.Len())
+	}
+	for _, ti := range cp.Pending {
+		if ti < 0 || ti >= len(c.tasks) || c.tasks[ti].state != taskPending {
+			return fmt.Errorf("%w: checkpoint queues task %d, which is not pending", ErrStateCorrupt, ti)
+		}
+		c.pending = append(c.pending, ti)
+	}
+	if cp.Failed != "" {
+		c.failed = errors.New(cp.Failed)
+	}
+	for i, ev := range events {
+		if err := c.applyLocked(ev); err != nil {
+			return fmt.Errorf("%w: WAL event %d (%s): %v", ErrStateCorrupt, i, ev.E, err)
+		}
+	}
+
+	// Reconcile. The prior incarnation's deadlines died with it: requeue
+	// every in-flight lease, front of the queue, attempts unchanged.
+	requeued := 0
+	for ti := len(c.tasks) - 1; ti >= 0; ti-- {
+		t := c.tasks[ti]
+		if t.state != taskLeased {
+			continue
+		}
+		t.state = taskPending
+		t.leaseID, t.worker, t.deadline = "", "", time.Time{}
+		delete(c.leased, ti)
+		c.pending = append([]int{ti}, c.pending...)
+		requeued++
+	}
+	// Trust no spill unseen: a completed range stays completed only if
+	// its file still validates whole.
+	demoted := 0
+	for ti := len(c.tasks) - 1; ti >= 0; ti-- {
+		t := c.tasks[ti]
+		if t.state != taskDone {
+			continue
+		}
+		if err := validateSpill(c.st.spillDir, t.spill, c.def.Kind, fp, t.lo, t.hi); err != nil {
+			c.logf("spill for cells [%d,%d) failed validation; recomputing: %v", t.lo, t.hi, err)
+			t.state, t.spill, t.cached = taskPending, "", false
+			c.pending = append([]int{ti}, c.pending...)
+			demoted++
+		}
+	}
+	// Ranges the result store can serve whole — typically uploads whose
+	// complete event was lost to the crash but whose cells were already
+	// store-spilled — complete without leasing.
+	adopted := 0
+	if c.cfg.Results != nil && c.failed == nil {
+		kept := c.pending[:0]
+		for _, ti := range c.pending {
+			t := c.tasks[ti]
+			if name, err := c.spillStored(t.lo, t.hi); err == nil {
+				t.state, t.cached, t.spill = taskDone, true, name
+				adopted++
+				continue
+			}
+			kept = append(kept, ti)
+		}
+		c.pending = kept
+	}
+	doneCells := 0
+	for _, t := range c.tasks {
+		if t.state == taskDone {
+			doneCells += t.hi - t.lo
+		}
+	}
+	c.logf("resumed sweep %s from %s (epoch %d): %d/%d cells done, %d lease(s) requeued, %d range(s) demoted, %d adopted from result store",
+		fp, c.cfg.StateDir, c.st.epoch, doneCells, c.plan.Len(), requeued, demoted, adopted)
+	return nil
+}
+
+// applyLocked replays one WAL event onto the checkpointed lease table.
+// Replay is strict: an event that does not apply cleanly means the
+// state dir is corrupt, and recovery refuses rather than guesses.
+func (c *Coordinator) applyLocked(ev walEvent) error {
+	if ev.E == "sweepfail" {
+		if ev.Reason == "" {
+			return errors.New("sweepfail without a reason")
+		}
+		c.failed = errors.New(ev.Reason)
+		return nil
+	}
+	if ev.Task < 0 || ev.Task >= len(c.tasks) {
+		return fmt.Errorf("task %d out of range", ev.Task)
+	}
+	t := c.tasks[ev.Task]
+	withdraw := func() bool {
+		for i, ti := range c.pending {
+			if ti == ev.Task {
+				c.pending = append(c.pending[:i], c.pending[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	switch ev.E {
+	case "grant":
+		if t.state != taskPending || !withdraw() {
+			return errors.New("grant of a task that was not queued")
+		}
+		t.state = taskLeased
+		t.attempts = ev.Attempts
+		t.leaseID, t.worker = ev.Lease, ev.Worker
+		c.leased[ev.Task] = true
+		c.leases[ev.Lease] = ev.Task
+	case "renew":
+		// Deadlines are not durable; nothing to apply.
+	case "expire", "fail":
+		if t.state != taskLeased || t.leaseID != ev.Lease {
+			return fmt.Errorf("%s of a lease that is not current", ev.E)
+		}
+		t.lastFailed = ev.Worker
+		t.state = taskPending
+		t.leaseID, t.worker, t.deadline = "", "", time.Time{}
+		delete(c.leased, ev.Task)
+		c.pending = append([]int{ev.Task}, c.pending...)
+	case "complete":
+		if t.state == taskDone {
+			return errors.New("complete of an already-completed task")
+		}
+		if ev.Spill == "" {
+			return errors.New("complete without a spill file")
+		}
+		if t.state == taskLeased {
+			delete(c.leased, ev.Task)
+		} else {
+			withdraw()
+		}
+		t.state, t.spill, t.cached = taskDone, ev.Spill, false
+		t.leaseID, t.worker, t.deadline = "", "", time.Time{}
+	default:
+		return fmt.Errorf("unknown event %q", ev.E)
+	}
+	return nil
+}
+
+// snapshotLocked captures the lease table as a checkpoint.
+func (c *Coordinator) snapshotLocked() *checkpoint {
+	cp := &checkpoint{
+		Plan:    c.plan.Fingerprint(),
+		Kind:    c.def.Kind,
+		Tasks:   make([]taskCheckpoint, len(c.tasks)),
+		Pending: append([]int(nil), c.pending...),
+	}
+	for i, t := range c.tasks {
+		tc := taskCheckpoint{Lo: t.lo, Hi: t.hi, Attempts: t.attempts,
+			Cached: t.cached, LastFailed: t.lastFailed, Spill: t.spill}
+		switch t.state {
+		case taskPending:
+			tc.State = "pending"
+		case taskLeased:
+			tc.State = "leased"
+			tc.Lease, tc.Worker = t.leaseID, t.worker
+		case taskDone:
+			tc.State = "done"
+		}
+		cp.Tasks[i] = tc
+	}
+	if c.failed != nil {
+		cp.Failed = c.failed.Error()
+	}
+	return cp
+}
+
+// recordLocked logs one lease-table transition to the WAL and compacts
+// when due. Durability failures are logged once and disable further
+// state writes; the in-memory sweep continues.
+func (c *Coordinator) recordLocked(ev walEvent) {
+	if err := c.st.append(ev); err != nil && !c.stateWarned {
+		c.stateWarned = true
+		c.logf("%v", err)
+	}
+	if c.st.due() {
+		if err := c.st.commit(c.snapshotLocked()); err != nil && !c.stateWarned {
+			c.stateWarned = true
+			c.logf("%v", err)
+		}
+	}
 }
 
 // logf emits one progress line when a logger is configured.
@@ -244,6 +558,37 @@ func (c *Coordinator) logf(format string, args ...any) {
 
 // Plan returns the coordinator's sweep plan.
 func (c *Coordinator) Plan() *destset.SweepPlan { return c.plan }
+
+// Drain stops the coordinator granting leases: outstanding leases keep
+// renewing and completing, but pending work stays queued — the graceful
+// half of a shutdown, before Checkpoint and exit. Progress reports the
+// draining state so supervisors stop launching workers.
+func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.draining {
+		c.draining = true
+		c.logf("draining: no further leases will be granted")
+	}
+}
+
+// Checkpoint compacts the durable state to the current lease table on
+// demand (it also happens automatically every CheckpointEvery events).
+// Ephemeral coordinators have no durable state; Checkpoint is a no-op.
+func (c *Coordinator) Checkpoint() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.commit(c.snapshotLocked())
+}
+
+// Close releases the coordinator's state files; an ephemeral
+// coordinator's spill dir is removed, a durable one's state dir is left
+// for the next incarnation to resume.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.close()
+}
 
 // SweepInfo is the handshake payload: everything a worker needs to
 // reconstruct the sweep and verify it agrees with the coordinator.
@@ -319,6 +664,7 @@ func (c *Coordinator) expireLocked(now time.Time) {
 		if now.After(t.deadline) {
 			c.logf("lease %s (worker %s) expired; requeued cells [%d,%d) after %d attempt(s)",
 				t.leaseID, t.worker, t.lo, t.hi, t.attempts)
+			c.recordLocked(walEvent{E: "expire", Task: i, Lease: t.leaseID, Worker: t.worker})
 			t.lastFailed = t.worker
 			c.requeueLocked(i)
 		}
@@ -341,15 +687,16 @@ func (c *Coordinator) failLocked(err error) {
 	if c.failed == nil {
 		c.failed = err
 		c.logf("sweep failed: %v", err)
+		c.recordLocked(walEvent{E: "sweepfail", Reason: err.Error()})
 		close(c.done)
 	}
 }
 
 // Lease grants the requesting worker the next pending cell range. A nil
 // Lease with Done false means nothing is grantable right now (everything
-// is leased out) — poll again. Re-grants of a failed range prefer a
-// worker other than the one that last failed it when any other pending
-// work exists.
+// is leased out, or the coordinator is draining) — poll again. Re-grants
+// of a failed range prefer a worker other than the one that last failed
+// it when any other pending work exists.
 func (c *Coordinator) Lease(worker, planFP string) (LeaseReply, error) {
 	if err := c.checkPlan(planFP); err != nil {
 		return LeaseReply{}, err
@@ -368,7 +715,7 @@ func (c *Coordinator) Lease(worker, planFP string) (LeaseReply, error) {
 	if c.doneTasks == len(c.tasks) {
 		return LeaseReply{Done: true}, nil
 	}
-	if len(c.pending) == 0 {
+	if c.draining || len(c.pending) == 0 {
 		return LeaseReply{}, nil
 	}
 	// Mild anti-affinity: skip ranges this worker already failed when
@@ -395,8 +742,11 @@ func (c *Coordinator) Lease(worker, planFP string) (LeaseReply, error) {
 	c.leased[ti] = true
 	c.leasedCells += t.hi - t.lo
 	c.nextLease++
-	t.leaseID = fmt.Sprintf("lease-%d", c.nextLease)
+	// Lease ids are namespaced by the state epoch, so a resumed
+	// coordinator can never re-issue an id a prior incarnation granted.
+	t.leaseID = fmt.Sprintf("lease-%d-%d", c.st.epoch, c.nextLease)
 	c.leases[t.leaseID] = ti
+	c.recordLocked(walEvent{E: "grant", Task: ti, Lease: t.leaseID, Worker: worker, Attempts: t.attempts})
 	c.logf("%s: cells [%d,%d) -> worker %s (attempt %d)", t.leaseID, t.lo, t.hi, worker, t.attempts)
 	return LeaseReply{Lease: &Lease{ID: t.leaseID, Lo: t.lo, Hi: t.hi, TTLMs: c.cfg.LeaseTTL.Milliseconds()}}, nil
 }
@@ -420,6 +770,7 @@ func (c *Coordinator) Heartbeat(leaseID, worker, planFP string) error {
 		return fmt.Errorf("%w: %s over cells [%d,%d)", ErrLeaseGone, leaseID, t.lo, t.hi)
 	}
 	t.deadline = now.Add(c.cfg.LeaseTTL)
+	c.recordLocked(walEvent{E: "renew", Task: ti, Lease: leaseID, Worker: worker})
 	return nil
 }
 
@@ -441,6 +792,7 @@ func (c *Coordinator) Fail(leaseID, worker, planFP, reason string) error {
 	t := c.tasks[ti]
 	if t.state == taskLeased && t.leaseID == leaseID {
 		c.logf("%s: worker %s failed cells [%d,%d): %s", leaseID, worker, t.lo, t.hi, reason)
+		c.recordLocked(walEvent{E: "fail", Task: ti, Lease: leaseID, Worker: worker, Reason: reason})
 		t.lastFailed = worker
 		c.requeueLocked(ti)
 	}
@@ -476,8 +828,10 @@ type CompleteReply struct {
 // is streamed line by line, each record attributed to its plan cell and
 // checked against the lease's range, and the range's cells must all be
 // covered — a partial stream (an interrupted worker flushing what it
-// had) is rejected and the range re-queued. The first valid completion
-// of a range wins, whether or not its lease is still current: a worker
+// had) is rejected and the range re-queued. A validated upload is
+// spilled to disk before the range is marked done — the coordinator
+// never retains records in memory. The first valid completion of a
+// range wins, whether or not its lease is still current: a worker
 // finishing just after its lease expired still contributes, and the
 // re-granted duplicate is discarded on arrival.
 func (c *Coordinator) Complete(leaseID, worker, planFP string, body io.Reader) (CompleteReply, error) {
@@ -499,28 +853,34 @@ func (c *Coordinator) Complete(leaseID, worker, planFP string, body io.Reader) (
 		return reply, nil
 	}
 	lo, hi := t.lo, t.hi
+	spillDir, kind, fp := c.st.spillDir, c.def.Kind, c.plan.Fingerprint()
 	c.mu.Unlock()
 
-	// Parse outside the lock: uploads may be large and slow, and other
-	// workers must keep leasing meanwhile. Racing completions for the
-	// same range serialize at the commit below; the first one in wins.
-	records, perCell, err := c.readRecords(lo, hi, body)
+	// Parse and spill outside the lock: uploads may be large and slow,
+	// and other workers must keep leasing meanwhile. Racing completions
+	// for the same range spill byte-identical files (records are grouped
+	// per cell in plan order) and serialize at the commit below; the
+	// first one in wins.
+	perCell, err := c.readRecords(lo, hi, body)
 	if err != nil {
 		// The upload was unusable; put the range back in play if this
 		// lease still holds it.
 		c.Fail(leaseID, worker, planFP, err.Error())
 		return CompleteReply{}, err
 	}
+	name, err := writeSpill(spillDir, kind, fp, lo, hi, perCell)
+	if err != nil {
+		c.Fail(leaseID, worker, planFP, err.Error())
+		return CompleteReply{}, err
+	}
 
-	// Spill the validated upload into the result store (best-effort,
-	// still outside the lock) so a restarted sweep resumes warm. Racing
-	// duplicate completions spill identical bytes — cells are
-	// deterministic — so losing the commit race below is harmless.
+	// Feed the result store too (best-effort, still outside the lock) so
+	// a later sweep sharing these cells starts warm.
 	if c.cfg.Results != nil {
-		for ci, lines := range perCell {
-			fp := c.plan.Cell(ci).Fingerprint
-			if serr := c.cfg.Results.StoreCellLines(c.def.Kind, fp, lines); serr != nil {
-				c.logf("result-store spill for cell %d: %v", ci, serr)
+		for i, lines := range perCell {
+			cfp := c.plan.Cell(lo + i).Fingerprint
+			if serr := c.cfg.Results.StoreCellLines(kind, cfp, lines); serr != nil {
+				c.logf("result-store spill for cell %d: %v", lo+i, serr)
 			}
 		}
 	}
@@ -544,10 +904,11 @@ func (c *Coordinator) Complete(leaseID, worker, planFP string, body io.Reader) (
 		c.leasedCells -= t.hi - t.lo
 	}
 	t.state = taskDone
-	t.records = records
+	t.spill = name
 	t.leaseID, t.worker, t.deadline = "", "", time.Time{}
 	c.doneTasks++
 	c.doneCells += hi - lo
+	c.recordLocked(walEvent{E: "complete", Task: ti, Lease: leaseID, Worker: worker, Spill: name})
 	c.logf("%s: worker %s completed cells [%d,%d) — %d/%d cells done",
 		leaseID, worker, lo, hi, c.doneCells, c.plan.Len())
 	done := c.doneTasks == len(c.tasks)
@@ -559,12 +920,12 @@ func (c *Coordinator) Complete(leaseID, worker, planFP string, body io.Reader) (
 
 // readRecords streams one upload, attributing every line to a plan cell
 // and requiring the lease's range [lo, hi) to be exactly covered: no
-// foreign cells, no holes. Alongside the flat record list it returns
-// the same lines grouped per cell (in upload order within each cell) —
-// the shape the result-store spill needs.
-func (c *Coordinator) readRecords(lo, hi int, body io.Reader) ([][]byte, map[int][][]byte, error) {
-	covered := make(map[int][][]byte, hi-lo)
-	var records [][]byte
+// foreign cells, no holes. It returns the lines grouped per cell
+// (perCell[i] holds cell lo+i, in upload order within the cell) — the
+// shape both the spill file and the result store want.
+func (c *Coordinator) readRecords(lo, hi int, body io.Reader) ([][][]byte, error) {
+	perCell := make([][][]byte, hi-lo)
+	covered := 0
 	br := bufio.NewReaderSize(body, 64*1024)
 	line := 0
 	for {
@@ -576,7 +937,7 @@ func (c *Coordinator) readRecords(lo, hi int, body io.Reader) ([][]byte, map[int
 			if len(raw) > 0 {
 				var p obsProbe
 				if jerr := json.Unmarshal(raw, &p); jerr != nil {
-					return nil, nil, fmt.Errorf("distrib: upload line %d: %w", line, jerr)
+					return nil, fmt.Errorf("distrib: upload line %d: %w", line, jerr)
 				}
 				label := p.Engine
 				if c.def.Kind == destset.PlanKindTiming {
@@ -584,29 +945,30 @@ func (c *Coordinator) readRecords(lo, hi int, body io.Reader) ([][]byte, map[int
 				}
 				ci, ok := c.cells[cellKey{label: label, workload: p.Workload, seed: p.Seed}]
 				if !ok {
-					return nil, nil, fmt.Errorf("distrib: upload line %d names cell (%s, %s, seed %d) not in the plan",
+					return nil, fmt.Errorf("distrib: upload line %d names cell (%s, %s, seed %d) not in the plan",
 						line, label, p.Workload, p.Seed)
 				}
 				if ci < lo || ci >= hi {
-					return nil, nil, fmt.Errorf("distrib: upload line %d names cell %d outside the leased range [%d,%d)",
+					return nil, fmt.Errorf("distrib: upload line %d names cell %d outside the leased range [%d,%d)",
 						line, ci, lo, hi)
 				}
-				rec := append([]byte(nil), raw...)
-				covered[ci] = append(covered[ci], rec)
-				records = append(records, rec)
+				if len(perCell[ci-lo]) == 0 {
+					covered++
+				}
+				perCell[ci-lo] = append(perCell[ci-lo], append([]byte(nil), raw...))
 			}
 		}
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, nil, fmt.Errorf("distrib: reading upload: %w", err)
+			return nil, fmt.Errorf("distrib: reading upload: %w", err)
 		}
 	}
-	if len(covered) != hi-lo {
-		return nil, nil, fmt.Errorf("distrib: upload covers %d of %d leased cells — incomplete run", len(covered), hi-lo)
+	if covered != hi-lo {
+		return nil, fmt.Errorf("distrib: upload covers %d of %d leased cells — incomplete run", covered, hi-lo)
 	}
-	return records, covered, nil
+	return perCell, nil
 }
 
 // Progress is a point-in-time view of the sweep, served live at
@@ -616,17 +978,20 @@ type Progress struct {
 	Kind      string `json:"kind"`
 	Cells     int    `json:"cells"`
 	DoneCells int    `json:"done_cells"`
-	// CachedCells counts cells the result store served at plan build
-	// (never leased); ComputedCells counts cells completed by workers.
-	// CachedCells + ComputedCells == DoneCells.
+	// CachedCells counts cells the result store served without leasing
+	// (at plan build or resume); ComputedCells counts cells completed by
+	// workers. CachedCells + ComputedCells == DoneCells.
 	CachedCells   int `json:"cached_cells"`
 	ComputedCells int `json:"computed_cells"`
 	LeasedCells   int `json:"leased_cells"`
 	PendingCells  int `json:"pending_cells"`
 	// Workers counts workers seen within the last two lease TTLs.
-	Workers int    `json:"workers"`
-	Done    bool   `json:"done"`
-	Failed  string `json:"failed,omitempty"`
+	Workers int `json:"workers"`
+	// Draining means the coordinator has stopped granting leases and is
+	// waiting out the outstanding ones (graceful shutdown).
+	Draining bool   `json:"draining,omitempty"`
+	Done     bool   `json:"done"`
+	Failed   string `json:"failed,omitempty"`
 	// Results carries the coordinator's result-store counters when a
 	// store is configured.
 	Results *destset.ResultStats `json:"results,omitempty"`
@@ -648,6 +1013,7 @@ func (c *Coordinator) Progress() Progress {
 		ComputedCells: c.doneCells - c.cachedCells,
 		LeasedCells:   c.leasedCells,
 		PendingCells:  c.plan.Len() - c.doneCells - c.leasedCells,
+		Draining:      c.draining,
 		Done:          c.doneTasks == len(c.tasks),
 	}
 	if c.cfg.Results != nil {
@@ -680,14 +1046,16 @@ func (c *Coordinator) Wait(ctx context.Context) error {
 	return c.failed
 }
 
-// WriteMerged reassembles the accepted per-lease record streams into the
+// WriteMerged reassembles the spilled per-range record streams into the
 // full-run JSONL observation file on w — one merged manifest followed by
 // every record in plan order, byte-identical to the file the same sweep
-// writes in one process at parallelism 1. It reuses
-// destset.MergeObservations: the accepted records are presented as one
-// manifest-headed shard (one manifest total, so the merge stays linear
-// in the record count), and the merge re-validates cell coverage and
-// plan membership end to end before a byte is written.
+// writes in one process at parallelism 1. The merge is external
+// (destset.MergeStreams over the spill files): no task's records are
+// ever materialized, each spill is opened lazily when the merge reaches
+// it, and beyond mergeFanIn completed ranges consecutive spills are
+// concatenated — tasks partition the plan in order, so their spills
+// chain into plan-ordered streams — keeping the fan-in, and the open
+// descriptor count, bounded.
 func (c *Coordinator) WriteMerged(w io.Writer) error {
 	c.mu.Lock()
 	if c.failed != nil {
@@ -698,25 +1066,35 @@ func (c *Coordinator) WriteMerged(w io.Writer) error {
 		c.mu.Unlock()
 		return fmt.Errorf("distrib: sweep incomplete (%d/%d ranges done)", c.doneTasks, len(c.tasks))
 	}
-	// Snapshot the accepted record lists under the lock; they are
-	// immutable once a range completes, so the merge itself runs with
-	// the protocol unblocked.
-	total := 1 + len(c.cachedRecords)
-	for _, t := range c.tasks {
-		total += len(t.records)
-	}
-	parts := make([][]byte, 0, total)
-	manifest, err := json.Marshal(c.plan.Manifest(0, 1))
-	if err != nil {
-		c.mu.Unlock()
-		return fmt.Errorf("distrib: encoding merged manifest: %w", err)
-	}
-	parts = append(parts, manifest)
-	parts = append(parts, c.cachedRecords...)
-	for _, t := range c.tasks {
-		parts = append(parts, t.records...)
+	fp := c.plan.Fingerprint()
+	readers := make([]*lazySpill, len(c.tasks))
+	for i, t := range c.tasks {
+		readers[i] = &lazySpill{dir: c.st.spillDir, name: t.spill, kind: c.def.Kind,
+			plan: fp, lo: t.lo, hi: t.hi}
 	}
 	c.mu.Unlock()
-	stream := io.MultiReader(bytes.NewReader(bytes.Join(parts, []byte("\n"))), bytes.NewReader([]byte("\n")))
-	return destset.MergeObservations(w, stream)
+	defer func() {
+		for _, r := range readers {
+			r.Close()
+		}
+	}()
+
+	var parts []io.Reader
+	if len(readers) <= mergeFanIn {
+		parts = make([]io.Reader, len(readers))
+		for i, r := range readers {
+			parts[i] = r
+		}
+	} else {
+		per := (len(readers) + mergeFanIn - 1) / mergeFanIn
+		for lo := 0; lo < len(readers); lo += per {
+			hi := min(lo+per, len(readers))
+			group := make([]io.Reader, hi-lo)
+			for i, r := range readers[lo:hi] {
+				group[i] = r
+			}
+			parts = append(parts, io.MultiReader(group...))
+		}
+	}
+	return c.plan.MergeStreams(w, parts...)
 }

@@ -91,7 +91,7 @@ func serve(t *testing.T, cfg distrib.Config) (*distrib.Coordinator, *http.Client
 	l := distrib.NewMemListener()
 	srv := &http.Server{Handler: distrib.NewHandler(coord)}
 	go srv.Serve(l)
-	t.Cleanup(func() { srv.Close(); l.Close() })
+	t.Cleanup(func() { srv.Close(); l.Close(); coord.Close() })
 	return coord, l.Client()
 }
 

@@ -1,0 +1,242 @@
+package distrib
+
+// Autoscaling worker supervisor: a feedback loop over /v1/progress that
+// launches and retires workers to match the sweep's remaining work —
+// scale-up is immediate (pending cells are latency), scale-down waits
+// out a hysteresis window (workers are cheap to keep for a few polls
+// and expensive to relaunch, and a briefly-empty queue refills whenever
+// a lease expires). cmd/sweepscale wraps RunScaler around sweepwork
+// processes; tests wrap it around in-process RunWorker calls.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ScaleConfig tunes RunScaler.
+type ScaleConfig struct {
+	// URL is the coordinator's base URL.
+	URL string
+	// Client overrides the HTTP client polling /v1/progress; nil uses a
+	// fresh default client.
+	Client *http.Client
+	// Poll is the progress polling interval; <= 0 means 1s.
+	Poll time.Duration
+	// Min and Max bound the worker count. Min <= 0 means 0 (scale to
+	// zero when nothing is pending); Max <= 0 means 4.
+	Min, Max int
+	// CellsPerWorker is the target backlog per worker: desired workers =
+	// ceil((pending + leased cells) / CellsPerWorker), clamped to
+	// [Min, Max]. <= 0 means 4.
+	CellsPerWorker int
+	// ScaleDownAfter is the hysteresis window: a surplus worker is
+	// retired only after this many consecutive polls wanting fewer than
+	// are running. <= 0 means 3.
+	ScaleDownAfter int
+	// Launch runs one worker until ctx ends or the sweep completes —
+	// a sweepwork process, an in-process RunWorker, anything. Required.
+	Launch func(ctx context.Context, name string) error
+	// Logf, when non-nil, receives scaling decisions.
+	Logf func(format string, args ...any)
+}
+
+// ScaleStats summarizes one RunScaler run.
+type ScaleStats struct {
+	// Launched counts workers started; Retired counts workers the scaler
+	// stopped deliberately (scale-down or shutdown) — workers that exit
+	// on their own when the sweep completes are not "retired".
+	Launched, Retired int
+	// Peak is the highest concurrent worker count reached.
+	Peak int
+}
+
+// scaledWorker is one worker under supervision.
+type scaledWorker struct {
+	name   string
+	cancel context.CancelFunc
+	done   chan struct{}
+	err    error
+}
+
+// RunScaler supervises a worker fleet for one sweep: it polls the
+// coordinator's progress and keeps ceil(backlog / CellsPerWorker)
+// workers running (within [Min, Max], with scale-down hysteresis) until
+// the sweep is done or fails, then stops the fleet and returns. While
+// the coordinator reports itself draining, the scaler stops launching
+// and lets the fleet wind down. Transient polling failures retry under
+// backoff; a coordinator that stays unreachable ends the run.
+func RunScaler(ctx context.Context, cfg ScaleConfig) (ScaleStats, error) {
+	if cfg.Poll <= 0 {
+		cfg.Poll = time.Second
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = 4
+	}
+	if cfg.Min < 0 {
+		cfg.Min = 0
+	}
+	if cfg.Min > cfg.Max {
+		cfg.Min = cfg.Max
+	}
+	if cfg.CellsPerWorker <= 0 {
+		cfg.CellsPerWorker = 4
+	}
+	if cfg.ScaleDownAfter <= 0 {
+		cfg.ScaleDownAfter = 3
+	}
+	if cfg.Launch == nil {
+		return ScaleStats{}, fmt.Errorf("distrib: ScaleConfig.Launch is required")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	logf := func(format string, args ...any) {
+		if cfg.Logf != nil {
+			cfg.Logf(format, args...)
+		}
+	}
+
+	var stats ScaleStats
+	var fleet []*scaledWorker
+	nextName := 0
+	// stopAll retires the whole fleet and waits it out.
+	stopAll := func(reason string) {
+		for _, w := range fleet {
+			w.cancel()
+		}
+		for _, w := range fleet {
+			<-w.done
+			stats.Retired++
+		}
+		if len(fleet) > 0 {
+			logf("sweepscale: retired %d worker(s): %s", len(fleet), reason)
+		}
+		fleet = fleet[:0]
+	}
+	defer stopAll("scaler exiting")
+
+	bo := backoff{base: 200 * time.Millisecond, max: 5 * time.Second}
+	pollFails := 0
+	lowPolls := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		p, err := fetchProgress(ctx, client, cfg.URL)
+		if err != nil {
+			if ctx.Err() != nil {
+				return stats, ctx.Err()
+			}
+			pollFails++
+			if pollFails >= maxNetFailures {
+				return stats, fmt.Errorf("distrib: coordinator unreachable after %d progress polls: %w", pollFails, err)
+			}
+			if !sleepCtx(ctx, bo.next()) {
+				return stats, ctx.Err()
+			}
+			continue
+		}
+		pollFails = 0
+		bo.reset()
+
+		// Reap workers that exited on their own (sweep done, fatal error).
+		kept := fleet[:0]
+		for _, w := range fleet {
+			select {
+			case <-w.done:
+				if w.err != nil && ctx.Err() == nil {
+					logf("sweepscale: worker %s exited: %v", w.name, w.err)
+				}
+			default:
+				kept = append(kept, w)
+			}
+		}
+		fleet = kept
+
+		if p.Failed != "" {
+			stopAll("sweep failed")
+			return stats, fmt.Errorf("distrib: sweep failed: %s", p.Failed)
+		}
+		if p.Done {
+			stopAll("sweep done")
+			logf("sweepscale: sweep done (%d/%d cells); %d worker(s) launched over the run",
+				p.DoneCells, p.Cells, stats.Launched)
+			return stats, nil
+		}
+
+		backlog := p.PendingCells + p.LeasedCells
+		desired := (backlog + cfg.CellsPerWorker - 1) / cfg.CellsPerWorker
+		desired = max(cfg.Min, min(cfg.Max, desired))
+		if p.Draining {
+			// A draining coordinator grants nothing new: let the fleet
+			// finish its leases, launch nobody.
+			desired = min(desired, len(fleet))
+		}
+
+		if desired > len(fleet) {
+			lowPolls = 0
+			for len(fleet) < desired {
+				nextName++
+				name := fmt.Sprintf("scale-%d", nextName)
+				wctx, cancel := context.WithCancel(ctx)
+				w := &scaledWorker{name: name, cancel: cancel, done: make(chan struct{})}
+				go func() {
+					defer close(w.done)
+					w.err = cfg.Launch(wctx, name)
+				}()
+				fleet = append(fleet, w)
+				stats.Launched++
+				logf("sweepscale: launched worker %s (%d/%d running, backlog %d cells)",
+					name, len(fleet), cfg.Max, backlog)
+			}
+		} else if desired < len(fleet) {
+			lowPolls++
+			if lowPolls >= cfg.ScaleDownAfter {
+				lowPolls = 0
+				for len(fleet) > desired {
+					w := fleet[len(fleet)-1]
+					fleet = fleet[:len(fleet)-1]
+					w.cancel()
+					<-w.done
+					stats.Retired++
+					logf("sweepscale: retired worker %s (%d running, backlog %d cells)",
+						w.name, len(fleet), backlog)
+				}
+			}
+		} else {
+			lowPolls = 0
+		}
+		if len(fleet) > stats.Peak {
+			stats.Peak = len(fleet)
+		}
+
+		if !sleepCtx(ctx, cfg.Poll) {
+			return stats, ctx.Err()
+		}
+	}
+}
+
+// fetchProgress polls the coordinator's live progress endpoint.
+func fetchProgress(ctx context.Context, client *http.Client, base string) (Progress, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/progress", nil)
+	if err != nil {
+		return Progress{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return Progress{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Progress{}, fmt.Errorf("distrib: progress: %s", httpError(resp))
+	}
+	var p Progress
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return Progress{}, fmt.Errorf("distrib: decoding progress: %w", err)
+	}
+	return p, nil
+}

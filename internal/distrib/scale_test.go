@@ -1,0 +1,113 @@
+package distrib_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"destset"
+	"destset/internal/distrib"
+)
+
+// TestScalerRunsSweepToCompletion drives a whole sweep through
+// RunScaler alone: the scaler starts with zero workers, must scale up
+// to the cap to cover the backlog (12 single-cell ranges, 2 cells per
+// worker, max 3), and must end with zero workers once the coordinator
+// reports done — the 0→N→0 shape the CI smoke job greps for. The
+// merged output is pinned byte-identical to the single-process run, so
+// supervision never duplicates or drops a range.
+func TestScalerRunsSweepToCompletion(t *testing.T) {
+	def := destset.NewTimingSweepDef(
+		[]destset.SimSpec{
+			{Protocol: destset.ProtocolSnooping},
+			{Protocol: destset.ProtocolDirectory},
+		},
+		[]destset.WorkloadSpec{{Name: "oltp", Warm: 100, Measure: 100}},
+		destset.WithSeeds(1, 2, 3, 4, 5, 6),
+	)
+	want := localJSONL(t, def)
+	coord, client := serve(t, distrib.Config{
+		Def:       def,
+		ChunkSize: 1,
+		LeaseTTL:  5 * time.Second,
+		Logf:      t.Logf,
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	stats, err := distrib.RunScaler(ctx, distrib.ScaleConfig{
+		URL:            "http://coordinator",
+		Client:         client,
+		Poll:           30 * time.Millisecond,
+		Max:            3,
+		CellsPerWorker: 2,
+		Launch: func(ctx context.Context, name string) error {
+			_, err := distrib.RunWorker(ctx, distrib.WorkerConfig{
+				URL:    "http://coordinator",
+				Client: client,
+				Name:   name,
+				Hold:   50 * time.Millisecond,
+				Logf:   t.Logf,
+			})
+			return err
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("RunScaler: %v", err)
+	}
+	// 12 pending cells at 2 per worker wants 6 workers; the cap must
+	// bind, so the very first poll launches a full fleet of 3.
+	if stats.Peak != 3 {
+		t.Errorf("peak fleet = %d, want the max of 3", stats.Peak)
+	}
+	if stats.Launched < 3 {
+		t.Errorf("launched %d workers, want at least 3", stats.Launched)
+	}
+
+	p := coord.Progress()
+	if !p.Done || p.DoneCells != p.Cells {
+		t.Fatalf("scaler returned with progress %+v, want a finished sweep", p)
+	}
+	var got bytes.Buffer
+	if err := coord.WriteMerged(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Error("merged output under autoscaling differs from the single-process run")
+	}
+}
+
+// TestScalerHonorsDrain pins the draining interaction: once the
+// coordinator is draining, the scaler must not launch anybody even with
+// a full backlog, and must return cleanly when its context ends.
+func TestScalerHonorsDrain(t *testing.T) {
+	coord, client := serve(t, distrib.Config{
+		Def:       timingDef(),
+		ChunkSize: 1,
+		Logf:      t.Logf,
+	})
+	coord.Drain()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	stats, err := distrib.RunScaler(ctx, distrib.ScaleConfig{
+		URL:    "http://coordinator",
+		Client: client,
+		Poll:   20 * time.Millisecond,
+		Max:    3,
+		Launch: func(ctx context.Context, name string) error {
+			t.Errorf("scaler launched %s against a draining coordinator", name)
+			<-ctx.Done()
+			return nil
+		},
+		Logf: t.Logf,
+	})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("RunScaler = %+v, %v; want DeadlineExceeded from the drained wait", stats, err)
+	}
+	if stats.Launched != 0 {
+		t.Errorf("launched %d workers while draining, want 0", stats.Launched)
+	}
+}

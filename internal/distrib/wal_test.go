@@ -1,0 +1,359 @@
+package distrib
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeWALFile lays down a WAL file with the given events, the way a
+// live coordinator does: magic, then one frame per event.
+func writeWALFile(t *testing.T, path string, events ...walEvent) []byte {
+	t.Helper()
+	st := &walState{dir: filepath.Dir(path)}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(walMagic[:]); err != nil {
+		t.Fatal(err)
+	}
+	st.f = f
+	for _, ev := range events {
+		if err := st.append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestWALRoundTrip is the frame fidelity property: events appended to a
+// WAL read back identical, in order.
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-000001.log")
+	want := []walEvent{
+		{E: "grant", Task: 0, Lease: "lease-1-0", Worker: "w1", Attempts: 1},
+		{E: "renew", Task: 0, Lease: "lease-1-0", Worker: "w1"},
+		{E: "expire", Task: 0, Lease: "lease-1-0", Worker: "w1"},
+		{E: "grant", Task: 0, Lease: "lease-1-1", Worker: "w2", Attempts: 2},
+		{E: "complete", Task: 0, Lease: "lease-1-1", Worker: "w2", Spill: "0123456789abcdef.jsonl"},
+		{E: "fail", Task: 1, Lease: "lease-1-2", Worker: "w1", Reason: "worker reported failure"},
+		{E: "sweepfail", Reason: "cells 2-4 failed after 3 attempts"},
+	}
+	writeWALFile(t, path, want...)
+	got, err := readWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("WAL round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestWALToleratesTornTail pins the crash semantics: a WAL whose final
+// frame is incomplete — the coordinator died mid-append — loads every
+// complete frame before it. Truncation at any byte of the last frame
+// must never poison the events already durable.
+func TestWALToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	events := []walEvent{
+		{E: "grant", Task: 3, Lease: "lease-1-0", Worker: "w1", Attempts: 1},
+		{E: "complete", Task: 3, Lease: "lease-1-0", Worker: "w1", Spill: "aa.jsonl"},
+		{E: "grant", Task: 4, Lease: "lease-1-1", Worker: "w1", Attempts: 1},
+	}
+	path := filepath.Join(dir, "wal-000001.log")
+	raw := writeWALFile(t, path, events...)
+
+	// Find where the last frame begins by re-encoding the prefix.
+	prefix := writeWALFile(t, filepath.Join(dir, "prefix.log"), events[:2]...)
+	for cut := len(prefix) + 1; cut < len(raw); cut++ {
+		if err := os.WriteFile(path, raw[:cut], 0o666); err != nil {
+			t.Fatal(err)
+		}
+		got, err := readWAL(path)
+		if err != nil {
+			t.Fatalf("torn at byte %d: %v", cut, err)
+		}
+		if !reflect.DeepEqual(got, events[:2]) {
+			t.Fatalf("torn at byte %d: got %d events, want the 2 complete ones", cut, len(got))
+		}
+	}
+	// Torn inside the *first* frame: zero events, still not an error.
+	if err := os.WriteFile(path, raw[:len(walMagic)+3], 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := readWAL(path); err != nil || len(got) != 0 {
+		t.Fatalf("torn first frame: (%d events, %v), want (0, nil)", len(got), err)
+	}
+}
+
+// TestWALRejectsCorruption is the rejection matrix, mirroring
+// internal/results: any damage other than a torn tail — bit flips in
+// payload or checksum, bad magic, absurd lengths, non-JSON payloads —
+// is ErrStateCorrupt, never a silently different lease table.
+func TestWALRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	raw := writeWALFile(t, filepath.Join(dir, "pristine.log"),
+		walEvent{E: "grant", Task: 0, Lease: "lease-1-0", Worker: "w1", Attempts: 1},
+		walEvent{E: "complete", Task: 0, Lease: "lease-1-0", Worker: "w1", Spill: "aa.jsonl"},
+	)
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		path := filepath.Join(dir, name+".log")
+		if err := os.WriteFile(path, mutate(append([]byte(nil), raw...)), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readWAL(path); !errors.Is(err, ErrStateCorrupt) {
+			t.Errorf("%s: err = %v, want ErrStateCorrupt", name, err)
+		}
+	}
+	corrupt("bad-magic", func(b []byte) []byte { b[0] ^= 0xff; return b })
+	corrupt("future-version", func(b []byte) []byte { b[7] = 99; return b })
+	corrupt("flipped-payload-byte", func(b []byte) []byte { b[len(walMagic)+frameHeaderLen] ^= 0x01; return b })
+	corrupt("flipped-last-payload-byte", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b })
+	corrupt("flipped-checksum", func(b []byte) []byte { b[len(walMagic)+4] ^= 0x01; return b })
+	corrupt("absurd-length", func(b []byte) []byte {
+		for i := 0; i < 4; i++ {
+			b[len(walMagic)+i] = 0xff
+		}
+		return b
+	})
+	corrupt("empty-file", func([]byte) []byte { return nil })
+
+	// A frame holding non-JSON bytes passes the CRC (it guards what was
+	// written) but must still be refused as an event.
+	garbage := appendFrame(append([]byte(nil), walMagic[:]...), []byte("{not json"))
+	path := filepath.Join(dir, "garbage-payload.log")
+	if err := os.WriteFile(path, garbage, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readWAL(path); !errors.Is(err, ErrStateCorrupt) {
+		t.Errorf("garbage payload: err = %v, want ErrStateCorrupt", err)
+	}
+}
+
+// TestCheckpointRoundTrip pins checkpoint fidelity through commit: the
+// snapshot handed to commit reads back identical, stamped with the
+// state's epoch and the WAL sequence opened alongside it.
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, cp, events, err := openWALState(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != nil || len(events) != 0 {
+		t.Fatalf("fresh dir: checkpoint %v, %d events, want none", cp, len(events))
+	}
+	want := &checkpoint{
+		Plan: "fp-round-trip",
+		Kind: "timing",
+		Tasks: []taskCheckpoint{
+			{Lo: 0, Hi: 2, State: "done", Cached: true, Spill: "aa.jsonl"},
+			{Lo: 2, Hi: 4, State: "leased", Attempts: 2, Lease: "lease-1-0", Worker: "w1", LastFailed: "w2"},
+			{Lo: 4, Hi: 6, State: "pending", Attempts: 1, LastFailed: "w1"},
+		},
+		Pending: []int{2},
+	}
+	if err := st.commit(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, got, events, err := openWALState(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.close()
+	if len(events) != 0 {
+		t.Fatalf("replayed %d events from a just-checkpointed dir", len(events))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("checkpoint round trip:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Epoch != 1 || st2.epoch != 2 {
+		t.Fatalf("epochs: checkpoint %d, reopened state %d, want 1 and 2", got.Epoch, st2.epoch)
+	}
+}
+
+// TestCheckpointRejectsCorruption: checkpoints are written atomically,
+// so unlike the WAL there is no legitimate torn state — every damaged
+// variant, truncation included, is ErrStateCorrupt.
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	st, _, _, err := openWALState(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := &checkpoint{Plan: "fp-x", Kind: "trace",
+		Tasks: []taskCheckpoint{{Lo: 0, Hi: 8, State: "pending"}}, Pending: []int{0}}
+	if err := st.commit(cp); err != nil {
+		t.Fatal(err)
+	}
+	st.close()
+	raw, err := os.ReadFile(filepath.Join(dir, "checkpoint"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, "checkpoint"), mutate(append([]byte(nil), raw...)), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := openWALState(dir, 4); !errors.Is(err, ErrStateCorrupt) {
+			t.Errorf("%s: err = %v, want ErrStateCorrupt", name, err)
+		}
+	}
+	corrupt("bad-magic", func(b []byte) []byte { b[0] ^= 0xff; return b })
+	corrupt("future-version", func(b []byte) []byte { b[7] = 99; return b })
+	corrupt("flipped-payload", func(b []byte) []byte { b[len(b)/2] ^= 0x01; return b })
+	corrupt("flipped-last-byte", func(b []byte) []byte { b[len(b)-1] ^= 0x80; return b })
+	corrupt("flipped-checksum", func(b []byte) []byte { b[len(ckptMagic)+4] ^= 0x01; return b })
+	corrupt("truncated", func(b []byte) []byte { return b[:len(b)-5] })
+	corrupt("truncated-to-magic", func(b []byte) []byte { return b[:len(ckptMagic)] })
+	corrupt("extended", func(b []byte) []byte { return append(b, 0) })
+	corrupt("empty", func([]byte) []byte { return []byte{} })
+}
+
+// TestWALWithoutCheckpointIsCorrupt: WAL events reference task indices
+// only a checkpoint defines, so a state dir holding logs but no
+// checkpoint cannot be interpreted.
+func TestWALWithoutCheckpointIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	writeWALFile(t, filepath.Join(dir, walName(1)),
+		walEvent{E: "grant", Task: 0, Lease: "lease-1-0", Worker: "w1", Attempts: 1})
+	if _, _, _, err := openWALState(dir, 4); !errors.Is(err, ErrStateCorrupt) {
+		t.Fatalf("WAL without checkpoint: err = %v, want ErrStateCorrupt", err)
+	}
+}
+
+// TestCommitCompactsWALs pins the compaction ordering contract: commit
+// opens wal-<seq+1>, writes the checkpoint pointing at it, and deletes
+// older logs — and a reopened state replays only events after the
+// checkpoint.
+func TestCommitCompactsWALs(t *testing.T) {
+	dir := t.TempDir()
+	st, _, _, err := openWALState(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.commit(&checkpoint{Plan: "fp-c", Kind: "timing",
+		Tasks: []taskCheckpoint{{Lo: 0, Hi: 4, State: "pending"}}, Pending: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	// Two events: the second makes compaction due.
+	if err := st.append(walEvent{E: "grant", Task: 0, Lease: "lease-1-0", Worker: "w1", Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st.due() {
+		t.Fatal("compaction due after 1 of 2 events")
+	}
+	if err := st.append(walEvent{E: "renew", Task: 0, Lease: "lease-1-0", Worker: "w1"}); err != nil {
+		t.Fatal(err)
+	}
+	if !st.due() {
+		t.Fatal("compaction not due after 2 of 2 events")
+	}
+	if err := st.commit(&checkpoint{Plan: "fp-c", Kind: "timing",
+		Tasks: []taskCheckpoint{{Lo: 0, Hi: 4, State: "leased", Attempts: 1, Lease: "lease-1-0", Worker: "w1"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if st.due() {
+		t.Fatal("compaction still due right after checkpointing")
+	}
+	// Post-checkpoint events land in the new WAL.
+	if err := st.append(walEvent{E: "expire", Task: 0, Lease: "lease-1-0", Worker: "w1"}); err != nil {
+		t.Fatal(err)
+	}
+	st.close()
+
+	seqs, err := walSeqs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqs, []int{2}) {
+		t.Fatalf("WAL files after compaction: %v, want just [2]", seqs)
+	}
+	_, cp, events, err := openWALState(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.WalSeq != 2 || cp.Tasks[0].State != "leased" {
+		t.Fatalf("reloaded checkpoint: seq %d, task state %q", cp.WalSeq, cp.Tasks[0].State)
+	}
+	if len(events) != 1 || events[0].E != "expire" {
+		t.Fatalf("replayed events %+v, want just the post-checkpoint expire", events)
+	}
+}
+
+// TestOpenWALStateIgnoresStaleWALs: a crash between checkpoint rename
+// and old-WAL deletion leaves logs below WalSeq on disk; they are
+// compacted history and must not replay.
+func TestOpenWALStateIgnoresStaleWALs(t *testing.T) {
+	dir := t.TempDir()
+	st, _, _, err := openWALState(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.commit(&checkpoint{Plan: "fp-s", Kind: "trace",
+		Tasks: []taskCheckpoint{{Lo: 0, Hi: 2, State: "pending"}}, Pending: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	st.close()
+	// Resurrect a stale WAL below the checkpoint's WalSeq (1): seq 0.
+	writeWALFile(t, filepath.Join(dir, walName(0)),
+		walEvent{E: "grant", Task: 0, Lease: "lease-0-9", Worker: "ghost", Attempts: 7})
+
+	st2, cp, events, err := openWALState(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.close()
+	if len(events) != 0 {
+		t.Fatalf("stale WAL replayed: %+v", events)
+	}
+	if cp.Tasks[0].State != "pending" {
+		t.Fatalf("checkpoint state %q, want pending", cp.Tasks[0].State)
+	}
+}
+
+// TestEphemeralStateDropsEverything: a coordinator without -state-dir
+// spills to a private temp dir, logs nothing, and close removes the
+// spill dir.
+func TestEphemeralStateDropsEverything(t *testing.T) {
+	st, err := newEphemeralState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.append(walEvent{E: "grant", Task: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if st.due() {
+		t.Fatal("ephemeral state wants a checkpoint")
+	}
+	if err := st.commit(&checkpoint{Plan: "fp-e"}); err != nil {
+		t.Fatal(err)
+	}
+	dir := st.spillDir
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("ephemeral spill dir missing before close: %v", err)
+	}
+	if err := st.close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("ephemeral spill dir survives close: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"strings"
@@ -35,6 +36,11 @@ type WorkerConfig struct {
 	// PollInterval is the idle wait between lease requests when nothing
 	// is grantable; <= 0 means 300ms.
 	PollInterval time.Duration
+	// RetryBase and RetryMax shape the jittered exponential backoff
+	// applied when the coordinator is unreachable: the first retry waits
+	// around RetryBase, doubling up to RetryMax. <= 0 means 200ms / 5s.
+	RetryBase time.Duration
+	RetryMax  time.Duration
 	// Hold delays each lease's execution while heartbeats keep it alive
 	// — a failure-injection knob: kill the worker during the hold and
 	// the lease dies with it, exercising expiry and retry.
@@ -60,6 +66,32 @@ type WorkerStats struct {
 // before the worker gives up.
 const maxNetFailures = 10
 
+// maxUploadAttempts bounds retries of one completion upload on network
+// failure; past it the lease is left to expire and re-run elsewhere.
+const maxUploadAttempts = 3
+
+// backoff produces jittered exponential retry delays: each delay is
+// drawn from [cur/2, 3·cur/2) — the jitter keeps a fleet that lost its
+// coordinator from stampeding back in lockstep — and cur doubles per
+// retry up to max. reset returns to the base delay after any success.
+type backoff struct {
+	base, max, cur time.Duration
+}
+
+func (b *backoff) next() time.Duration {
+	if b.cur <= 0 {
+		b.cur = b.base
+	}
+	d := b.cur/2 + rand.N(b.cur)
+	b.cur *= 2
+	if b.cur > b.max {
+		b.cur = b.max
+	}
+	return d
+}
+
+func (b *backoff) reset() { b.cur = 0 }
+
 // worker is one running RunWorker invocation.
 type worker struct {
 	cfg    WorkerConfig
@@ -82,6 +114,15 @@ type worker struct {
 func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 300 * time.Millisecond
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 200 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 5 * time.Second
+	}
+	if cfg.RetryMax < cfg.RetryBase {
+		cfg.RetryMax = cfg.RetryBase
 	}
 	w := &worker{
 		cfg:    cfg,
@@ -169,9 +210,12 @@ func (w *worker) prewarm(ctx context.Context) error {
 	return nil
 }
 
-// leaseLoop leases, executes and uploads ranges until done.
+// leaseLoop leases, executes and uploads ranges until done. Failures to
+// reach the coordinator retry under jittered exponential backoff
+// (honoring ctx between attempts) up to maxNetFailures in a row.
 func (w *worker) leaseLoop(ctx context.Context) error {
 	netFails := 0
+	bo := backoff{base: w.cfg.RetryBase, max: w.cfg.RetryMax}
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -189,12 +233,16 @@ func (w *worker) leaseLoop(ctx context.Context) error {
 			if netFails >= maxNetFailures {
 				return fmt.Errorf("distrib: coordinator unreachable after %d attempts: %w", netFails, err)
 			}
-			if !sleepCtx(ctx, w.cfg.PollInterval) {
+			delay := bo.next()
+			w.logf("worker %s: coordinator unreachable (%v); retry %d/%d in %s",
+				w.name, err, netFails, maxNetFailures, delay.Round(time.Millisecond))
+			if !sleepCtx(ctx, delay) {
 				return ctx.Err()
 			}
 			continue
 		}
 		netFails = 0
+		bo.reset()
 		switch {
 		case reply.Failed != "":
 			return fmt.Errorf("distrib: coordinator reports sweep failed: %s", reply.Failed)
@@ -282,20 +330,39 @@ func (w *worker) runLease(ctx context.Context, lease Lease) error {
 	}
 
 	// Streaming shard upload: the records ride the request body, which
-	// the coordinator attributes to cells as it reads.
+	// the coordinator attributes to cells as it reads. Network failures
+	// retry under backoff while heartbeats keep the lease alive; the
+	// body is replayable, so each attempt re-sends identical bytes.
 	url := fmt.Sprintf("%s/v1/complete?lease=%s&worker=%s&plan=%s", w.base, lease.ID, w.name, w.planFP)
-	req, err := http.NewRequestWithContext(leaseCtx, http.MethodPost, url, bytes.NewReader(buf.Bytes()))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/x-ndjson")
-	resp, err := w.client.Do(req)
-	if err != nil {
+	bo := backoff{base: w.cfg.RetryBase, max: w.cfg.RetryMax}
+	var resp *http.Response
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequestWithContext(leaseCtx, http.MethodPost, url, bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		resp, err = w.client.Do(req)
+		if err == nil {
+			break
+		}
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		w.logf("worker %s: %s: upload failed: %v", w.name, lease.ID, err)
-		return nil
+		if leaseCtx.Err() != nil {
+			// Lease lost mid-upload; the range is already someone else's.
+			return nil
+		}
+		if attempt >= maxUploadAttempts {
+			w.logf("worker %s: %s: upload failed after %d attempts: %v", w.name, lease.ID, attempt, err)
+			return nil
+		}
+		delay := bo.next()
+		w.logf("worker %s: %s: upload attempt %d failed (%v); retrying in %s",
+			w.name, lease.ID, attempt, err, delay.Round(time.Millisecond))
+		if !sleepCtx(leaseCtx, delay) {
+			return ctx.Err()
+		}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {

@@ -1,0 +1,216 @@
+package destset
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// External (streaming) observation merge. MergeObservations materializes
+// every shard in memory before a byte is written — fine for figure-sized
+// sweeps, fatal for million-cell ones. MergeStreams is the external
+// counterpart: each input is a JSONL record stream already sorted by the
+// plan's cell order (the coordinator's spill files are written that way;
+// round-robin shard files satisfy it too), and the merge is a k-way heap
+// over the streams' current cells, so residency is O(streams), never
+// O(records). The output is byte-identical to MergeObservations over the
+// same records: one merged manifest followed by every record in plan
+// order, records of one cell keeping their input order.
+
+// mergeStream is one input's read cursor: the current record and the
+// plan index of the cell it belongs to.
+type mergeStream struct {
+	idx  int // input ordinal, for error messages
+	br   *bufio.Reader
+	line int
+	cell int    // current record's plan cell index
+	raw  []byte // current record, verbatim (no trailing newline)
+	done bool
+}
+
+// advance reads the stream's next observation record, skipping blank
+// lines and manifest records, and attributes it to a plan cell. At end
+// of stream it sets done.
+func (s *mergeStream) advance(kind string, cells map[obsCellKey]int) error {
+	for {
+		raw, err := s.br.ReadBytes('\n')
+		if len(raw) > 0 {
+			s.line++
+			raw = bytes.TrimSuffix(raw, []byte("\n"))
+			raw = bytes.TrimSuffix(raw, []byte("\r"))
+			if len(raw) > 0 && !isManifest(raw) {
+				var p obsProbe
+				if jerr := json.Unmarshal(raw, &p); jerr != nil {
+					return fmt.Errorf("destset: merge input %d line %d: %w", s.idx, s.line, jerr)
+				}
+				label := p.Engine
+				if kind == PlanKindTiming {
+					label = p.Sim
+				}
+				ci, ok := cells[obsCellKey{label: label, workload: p.Workload, seed: p.Seed}]
+				if !ok {
+					return fmt.Errorf("destset: merge input %d line %d names cell (%s, %s, seed %d) not in the plan",
+						s.idx, s.line, label, p.Workload, p.Seed)
+				}
+				if ci < s.cell {
+					return fmt.Errorf("destset: merge input %d line %d: cell %d after cell %d — stream is not in plan order",
+						s.idx, s.line, ci, s.cell)
+				}
+				s.cell, s.raw = ci, append(s.raw[:0], raw...)
+				return nil
+			}
+		}
+		if err == io.EOF {
+			s.done = true
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("destset: merge input %d: %w", s.idx, err)
+		}
+	}
+}
+
+// streamHeap is a min-heap of streams keyed by current cell index; ties
+// broken by input ordinal so the pop order is deterministic.
+type streamHeap []*mergeStream
+
+func (h streamHeap) less(i, j int) bool {
+	if h[i].cell != h[j].cell {
+		return h[i].cell < h[j].cell
+	}
+	return h[i].idx < h[j].idx
+}
+
+func (h streamHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h streamHeap) down(i int) {
+	for {
+		l, r, min := 2*i+1, 2*i+2, i
+		if l < len(h) && h.less(l, min) {
+			min = l
+		}
+		if r < len(h) && h.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// MergeStreams merges plan-ordered JSONL observation record streams into
+// the full-run observation file on w: one merged manifest (shard 0 of 1)
+// followed by every input record, verbatim, in the plan's cell order —
+// byte-identical to MergeObservations over the same records, and to the
+// unsharded run at parallelism 1. Unlike MergeObservations it never
+// materializes the inputs: each stream is read once, front to back, and
+// only one record per stream is resident, so arbitrarily large sweeps
+// merge in O(streams) memory.
+//
+// Each input must carry records whose plan cell indices are
+// non-decreasing (records of one cell stay consecutive and in their
+// original order), one cell must not span two inputs, and the inputs
+// together must cover every plan cell — holes, duplicates, out-of-order
+// records and cells foreign to the plan are refused, exactly as
+// MergeObservations refuses them. Manifest records and blank lines in
+// the inputs are skipped.
+func (p *SweepPlan) MergeStreams(w io.Writer, parts ...io.Reader) error {
+	if len(parts) == 0 {
+		return fmt.Errorf("destset: no streams to merge")
+	}
+	planCells := p.Cells()
+	cells := make(map[obsCellKey]int, len(planCells))
+	for i, c := range planCells {
+		key := obsCellKey{label: c.Engine, workload: c.Workload, seed: c.Seed}
+		if _, dup := cells[key]; dup {
+			return fmt.Errorf("destset: plan has two cells labeled (%s, %s, seed %d); records cannot be attributed — give the specs distinct labels",
+				c.Engine, c.Workload, c.Seed)
+		}
+		cells[key] = i
+	}
+
+	heap := make(streamHeap, 0, len(parts))
+	for i, r := range parts {
+		s := &mergeStream{idx: i, br: bufio.NewReaderSize(r, 64*1024)}
+		if err := s.advance(p.kind, cells); err != nil {
+			return err
+		}
+		if !s.done {
+			heap = append(heap, s)
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		heap.down(i)
+	}
+
+	bw := bufio.NewWriter(w)
+	manifest, err := json.Marshal(p.Manifest(0, 1))
+	if err != nil {
+		return fmt.Errorf("destset: encoding merged manifest: %w", err)
+	}
+	bw.Write(manifest)
+	bw.WriteByte('\n')
+
+	// ownedBy[i] is the input that emitted cell i's records (-1: none
+	// yet). A second input arriving at an already-owned cell is a
+	// duplicate; a gap behind the global cursor is a hole.
+	ownedBy := make([]int, len(planCells))
+	for i := range ownedBy {
+		ownedBy[i] = -1
+	}
+	next := 0 // the plan cell the merge expects next
+	for len(heap) > 0 {
+		s := heap[0]
+		if ownedBy[s.cell] >= 0 {
+			c := planCells[s.cell]
+			return fmt.Errorf("destset: cell %d (%s, %s, seed %d) appears in merge inputs %d and %d — one cell must not span streams",
+				s.cell, c.Engine, c.Workload, c.Seed, ownedBy[s.cell], s.idx)
+		}
+		if s.cell > next {
+			c := planCells[next]
+			return fmt.Errorf("destset: cell %d (%s, %s, seed %d) has no records — incomplete stream set (interrupted run?)",
+				next, c.Engine, c.Workload, c.Seed)
+		}
+		// Emit every record of this cell from this stream; they are
+		// consecutive by the non-decreasing invariant.
+		ci := s.cell
+		ownedBy[ci] = s.idx
+		next = ci + 1
+		for !s.done && s.cell == ci {
+			bw.Write(s.raw)
+			bw.WriteByte('\n')
+			if err := s.advance(p.kind, cells); err != nil {
+				return err
+			}
+		}
+		if s.done {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		if len(heap) > 0 {
+			heap.down(0)
+		}
+	}
+	if next != len(planCells) {
+		c := planCells[next]
+		return fmt.Errorf("destset: cell %d (%s, %s, seed %d) has no records — incomplete stream set (interrupted run?)",
+			next, c.Engine, c.Workload, c.Seed)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("destset: writing merged observations: %w", err)
+	}
+	return nil
+}
