@@ -191,11 +191,24 @@ func BenchmarkFigure8(b *testing.B) {
 // BenchmarkDatasetColdStart measures a cold process start against a
 // warm on-disk dataset tier: per iteration a fresh store (no memory
 // residents, as after exec) resolves the oltp dataset from the
-// content-addressed cache. The loaded columns alias the file buffer
-// zero-copy, so this is the price a shard process pays instead of a
-// full regeneration through the coherence oracle (compare
+// content-addressed cache. This pins the *copy* path (mmap off) — the
+// read-whole-file baseline BenchmarkDatasetColdStartMmap's zero-copy
+// mapping is measured against; both are the price a shard process pays
+// instead of a full regeneration through the coherence oracle (compare
 // BenchmarkWorkloadGenerate × 40k misses).
 func BenchmarkDatasetColdStart(b *testing.B) {
+	benchDatasetColdStart(b, false)
+}
+
+// BenchmarkDatasetColdStartMmap is BenchmarkDatasetColdStart over the
+// mmap tier: the same cold-store load served by a page-cache mapping
+// that the columns alias zero-copy, so B/op stays constant while the
+// copy path's scales with the file.
+func BenchmarkDatasetColdStartMmap(b *testing.B) {
+	benchDatasetColdStart(b, true)
+}
+
+func benchDatasetColdStart(b *testing.B, mmap bool) {
 	dir := b.TempDir()
 	p, err := workload.Preset("oltp", 1)
 	if err != nil {
@@ -214,6 +227,7 @@ func BenchmarkDatasetColdStart(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cold := dataset.NewStore()
+		cold.SetMmap(mmap)
 		if err := cold.SetDir(dir); err != nil {
 			b.Fatal(err)
 		}
@@ -221,14 +235,76 @@ func BenchmarkDatasetColdStart(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if st := cold.Stats(); st.Generations != 0 || st.DiskHits != 1 {
+		st := cold.Stats()
+		if st.Generations != 0 || st.DiskHits != 1 {
 			b.Fatalf("cold start did not load from disk: %+v", st)
+		}
+		if mmap && st.MapHits != 1 {
+			b.Fatalf("cold start did not come from the mmap tier: %+v", st)
 		}
 		if ds.Len() != warm+measure {
 			b.Fatal("short dataset")
 		}
 	}
 	b.ReportMetric(float64(warm+measure), "misses")
+}
+
+// BenchmarkDatasetFetch measures the dataset fabric's wire path: per
+// iteration one content-addressed fetch from the coordinator's
+// GET /v1/dataset/{key} endpoint — file stream over in-memory HTTP,
+// full receipt validation (header, CRC, key identity) and atomic
+// install — the one-time cost a mountless worker pays per dataset
+// before mmap loads take over.
+func BenchmarkDatasetFetch(b *testing.B) {
+	def := destset.NewTimingSweepDef(
+		[]destset.SimSpec{{Protocol: destset.ProtocolSnooping}},
+		[]destset.WorkloadSpec{{Name: "oltp", Warm: 20_000, Measure: 20_000}},
+		destset.WithSeeds(1),
+	)
+	datasets, err := def.Datasets()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sd := datasets[0]
+	key, err := sd.ContentKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	serveDir := b.TempDir()
+	if _, err := sd.SpillTo(serveDir); err != nil { // materialize once; GETs stream the file
+		b.Fatal(err)
+	}
+	coord, err := distrib.NewCoordinator(distrib.Config{Def: def, LeaseTTL: time.Minute, DatasetDir: serveDir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer coord.Close()
+	l := distrib.NewMemListener()
+	srv := &http.Server{Handler: distrib.NewHandler(coord)}
+	go srv.Serve(l)
+	defer srv.Close()
+	client := l.Client()
+	installDir := b.TempDir()
+	url := "http://coordinator/v1/dataset/" + key
+
+	b.ResetTimer()
+	var bytesFetched int64
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("fetch status %d", resp.StatusCode)
+		}
+		n, err := sd.InstallTo(installDir, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytesFetched = n
+	}
+	b.ReportMetric(float64(bytesFetched), "bytes")
 }
 
 // BenchmarkResultStoreLookup measures a cold process start against a

@@ -27,6 +27,14 @@
 // store. GET /v1/progress reports cache-served vs computed cell counts
 // and the store's hit/miss counters.
 //
+// -dataset-dir names the dataset files the coordinator serves to
+// workers fetching over the wire (GET /v1/dataset/{key}): point it at a
+// warm directory and serving is a plain file stream; missing files are
+// generated and spilled on first fetch. Workers with their own (cold,
+// private) -dataset-dir fetch every announced dataset, verify the CRC
+// on receipt, and cold-start with zero generations and zero shared
+// mounts.
+//
 // Workers (cmd/sweepwork) find the coordinator at -addr. -chunk sets
 // cells per lease, -lease-ttl the heartbeat deadline, -max-attempts the
 // retry budget per range. After the output is written the coordinator
@@ -90,6 +98,7 @@ func main() {
 		linger      = flag.Duration("linger", 3*time.Second, "how long to keep answering workers after the output is written")
 		resultDir   = flag.String("result-dir", "", "persistent result store: known cells are pre-marked complete, accepted uploads spill back")
 		stateDir    = flag.String("state-dir", "", "crash-safe coordinator state: lease WAL, checkpoints and spilled uploads; restart with the same dir to resume")
+		dataDir     = flag.String("dataset-dir", "", "dataset files served to workers over GET /v1/dataset/{key}; missing ones are generated and spilled here on first fetch")
 		quiet       = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
@@ -129,6 +138,7 @@ func main() {
 		LeaseTTL:    *leaseTTL,
 		MaxAttempts: *maxAttempts,
 		StateDir:    *stateDir,
+		DatasetDir:  *dataDir,
 		Logf:        logf,
 		Results:     results,
 	})

@@ -1,8 +1,11 @@
 // Command sweepwork is the distributed-sweep worker: it handshakes with
 // a cmd/sweepd coordinator, verifies it computes the same plan
 // fingerprint from the served sweep definition, resolves the
-// pre-announced datasets (zero generations against a warm -dataset-dir),
-// then leases cell ranges, executes them through the ordinary facade
+// pre-announced datasets — zero generations against a warm -dataset-dir,
+// and still zero against an empty private one: datasets missing from
+// the local directory are fetched from the coordinator over the wire,
+// CRC-verified on receipt and installed atomically — then leases cell
+// ranges, executes them through the ordinary facade
 // runners, and streams the JSONL observation records back — heartbeating
 // so a live lease never expires and a dead worker's lease does.
 //
@@ -45,6 +48,7 @@ func main() {
 		planPin     = flag.String("plan", "", "refuse coordinators serving any other plan fingerprint")
 		poll        = flag.Duration("poll", 300*time.Millisecond, "idle wait between lease requests")
 		hold        = flag.Duration("hold", 0, "hold each lease this long before running it (failure-injection knob)")
+		fetchHold   = flag.Duration("fetch-hold", 0, "hold each dataset wire fetch this long before installing it (failure-injection knob)")
 		noPrewarm   = flag.Bool("no-prewarm", false, "skip resolving the coordinator's pre-announced datasets")
 		quiet       = flag.Bool("quiet", false, "suppress progress logging")
 	)
@@ -82,11 +86,14 @@ func main() {
 		ExpectPlan:   *planPin,
 		PollInterval: *poll,
 		Hold:         *hold,
+		FetchHold:    *fetchHold,
 		NoPrewarm:    *noPrewarm,
 		Logf:         logf,
 	})
 	if err != nil {
 		fail(err)
 	}
-	logf("done: %d lease(s), %d cell(s), %d dataset(s) prewarmed", stats.Leases, stats.Cells, stats.Prewarmed)
+	ds := destset.DatasetCacheStats()
+	logf("done: %d lease(s), %d cell(s), %d dataset(s) prewarmed, %d fetched (%d bytes), dataset generations %d",
+		stats.Leases, stats.Cells, stats.Prewarmed, stats.Fetched, stats.FetchedBytes, ds.Generations)
 }

@@ -82,7 +82,16 @@ type Dataset struct {
 	// order. Keeping the snapshot instead of the live coherence.System
 	// releases the oracle's dense block table and all sixteen modelled
 	// L2 caches — tens of megabytes per workload — to the GC.
+	//
+	// Disk loads whose columns alias the file buffer defer the snapshot:
+	// statsRaw aliases the on-file stats region and blockStats is decoded
+	// from it on first BlockStats call, so replay-only consumers (the
+	// timing path) never pay the copy. nstats is the table length either
+	// way.
 	blockStats []coherence.BlockStat
+	statsRaw   []byte
+	nstats     int
+	statsOnce  sync.Once
 
 	// Legacy []trace.Record views, materialized at most once for
 	// consumers that need contiguous records (the timing simulator).
@@ -93,6 +102,12 @@ type Dataset struct {
 	// the materialized views above — so the store's byte accounting
 	// tracks the dataset's real footprint, not just the columns.
 	grow func(delta int64)
+
+	// mp, when set, is the mmap region the columns alias (mmap.go). The
+	// dataset holds the mapping's reference; a runtime cleanup releases
+	// it when the dataset — and therefore every view pinning it — is
+	// unreachable, and only then is the region unmapped.
+	mp *mapping
 }
 
 // Generate runs the workload's generator for warm+measure misses and
@@ -126,6 +141,7 @@ func Generate(p workload.Params, warm, measure int) (*Dataset, error) {
 	d.rescaleGaps(0, warm)
 	d.rescaleGaps(warm, n)
 	d.blockStats = snapshotBlockStats(g.System())
+	d.nstats = len(d.blockStats)
 	return d, nil
 }
 
@@ -192,7 +208,7 @@ const (
 // with it and is additionally notified (via grow) when the legacy
 // record views materialize later.
 func (d *Dataset) Bytes() int64 {
-	return int64(d.n)*perRecord + int64(len(d.blockStats))*perStat
+	return int64(d.n)*perRecord + int64(d.nstats)*perStat
 }
 
 // At returns record i and its coherence annotation. Index 0 is the first
@@ -224,7 +240,18 @@ func (d *Dataset) EachMeasured(fn func(rec trace.Record, mi coherence.MissInfo))
 
 // BlockStats returns the whole-run per-block statistics (touched blocks
 // only, address order). The returned slice is shared; do not mutate.
-func (d *Dataset) BlockStats() []coherence.BlockStat { return d.blockStats }
+// Aliased disk loads decode the table from the file region on the first
+// call (the footprint is already budgeted by Bytes).
+func (d *Dataset) BlockStats() []coherence.BlockStat {
+	d.statsOnce.Do(func() {
+		if d.statsRaw == nil {
+			return
+		}
+		d.blockStats = decodeBlockStats(d.statsRaw, d.nstats)
+		d.statsRaw = nil
+	})
+	return d.blockStats
+}
 
 // materialize copies records [lo, hi) into a contiguous legacy trace.
 func (d *Dataset) materialize(lo, hi int) *trace.Trace {
@@ -306,15 +333,17 @@ func (d *Dataset) MeasureRegion() Region { return Region{d: d, lo: d.warm, hi: d
 // record. Replayers allocate nothing per Next call and never mutate the
 // dataset, so any number can run concurrently.
 func (d *Dataset) Replay() *Replayer {
-	return &Replayer{c: d.c, n: d.n, nodes: uint64(d.params.Nodes)}
+	return &Replayer{d: d, c: d.c, n: d.n, nodes: uint64(d.params.Nodes)}
 }
 
 // Replayer is a sequential cursor over a Dataset: the warm region first,
 // then the measured region. It implements the sweep engine's Stream
 // contract (Next), with reads straight out of the shared columns. A
-// cursor holds only the column headers, so an outstanding cursor does
-// not pin an evicted dataset's block statistics or legacy views.
+// cursor pins its dataset for its whole lifetime — required for
+// mmap-backed datasets, whose columns alias a mapping that must not be
+// unmapped while any cursor can still read it.
 type Replayer struct {
+	d     *Dataset // pins the dataset (and any backing mapping)
 	c     cols
 	i     int
 	n     int

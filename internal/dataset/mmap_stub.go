@@ -1,0 +1,14 @@
+//go:build !linux && !darwin
+
+package dataset
+
+import "os"
+
+// mmapSupported: platforms without a wired-up mmap syscall fall back to
+// the ReadFile copy path; everything above the open decides off this
+// constant, so the fallback costs one branch.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) { return nil, errMmapUnsupported }
+
+func munmapBytes(b []byte) error { return nil }

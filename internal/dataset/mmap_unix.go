@@ -1,0 +1,29 @@
+//go:build linux || darwin
+
+package dataset
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform has an mmap path at all.
+// Little-endianness is checked separately (hostLittle): mapping a file
+// is only useful when the columns can alias it without conversion.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared, and advises the
+// kernel that access will be sequential — replay walks every column
+// front to back, so aggressive readahead is exactly right. The advice
+// is best-effort; a kernel that refuses it costs nothing.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	b, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	_ = syscall.Madvise(b, syscall.MADV_SEQUENTIAL)
+	return b, nil
+}
+
+// munmapBytes releases a mapping created by mmapFile.
+func munmapBytes(b []byte) error { return syscall.Munmap(b) }

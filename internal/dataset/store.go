@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -66,7 +67,14 @@ type Store struct {
 	bytes   int64
 	limit   int64
 	dir     string
-	stats   Stats
+	mmap    bool
+	// verified remembers keys whose on-disk file has passed a full CRC
+	// check (or was written by this process). Later opens of a verified
+	// key skip the checksum scan: content addressing plus deterministic
+	// generation make every rewrite of the file byte-identical, so one
+	// verification is as good as many.
+	verified map[Key]bool
+	stats    Stats
 }
 
 // Stats are a store's per-tier counters since process start, plus its
@@ -86,11 +94,24 @@ type Stats struct {
 	// missed every tier. A warm disk tier keeps this at zero across
 	// process restarts.
 	Generations uint64
+	// MapHits counts disk hits served zero-copy from the mmap tier (a
+	// subset of DiskHits); the remainder went through the ReadFile copy
+	// path. MappedBytes is the store's live mmap-resident footprint:
+	// bytes currently mapped, decremented when a mapping's last reader
+	// is collected and the region is unmapped.
+	MapHits     uint64
+	MappedBytes int64
 }
 
-// NewStore returns an empty store with no size limit.
+// NewStore returns an empty store with no size limit. The mmap disk
+// path is on by default wherever the platform supports it.
 func NewStore() *Store {
-	return &Store{entries: make(map[Key]*entry), lru: list.New()}
+	return &Store{
+		entries:  make(map[Key]*entry),
+		lru:      list.New(),
+		mmap:     mmapSupported && hostLittle,
+		verified: make(map[Key]bool),
+	}
 }
 
 // Shared is the process-wide store the experiment Runner and harnesses
@@ -132,11 +153,32 @@ func (s *Store) Dir() string {
 	return s.dir
 }
 
-// Path returns the content-addressed file a key lives at under dir: the
-// key (workload fingerprint and scale) plus the format version, hashed.
-// Versioning the address means a format bump never misreads old files —
-// they are simply unreachable and regenerate.
-func (key Key) Path(dir string) string {
+// SetMmap enables or disables the mmap disk path. It is on by default;
+// platforms without mmap support (or big-endian hosts, whose columns
+// need byte-order conversion anyway) silently stay on the ReadFile copy
+// path regardless.
+func (s *Store) SetMmap(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mmap = on && mmapSupported && hostLittle
+}
+
+// Contains reports whether key is resident in the memory tier right
+// now. It never touches disk and never populates anything — a cheap
+// pre-check for callers deciding whether a fetch is needed.
+func (s *Store) Contains(key Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	return ok && e.elem != nil
+}
+
+// Addr returns the key's content address: the key (workload fingerprint
+// and scale) plus the format version, hashed to a fixed-width hex
+// string. Versioning the address means a format bump never misreads old
+// files — they are simply unreachable and regenerate. The address is
+// also the wire name workers use to fetch datasets from a coordinator.
+func (key Key) Addr() string {
 	h := sha256.New()
 	var num [8 * 3]byte
 	binary.LittleEndian.PutUint64(num[0:], uint64(key.Warm))
@@ -144,7 +186,16 @@ func (key Key) Path(dir string) string {
 	binary.LittleEndian.PutUint64(num[16:], FileVersion)
 	h.Write(num[:])
 	h.Write([]byte(key.Source))
-	return filepath.Join(dir, hex.EncodeToString(h.Sum(nil)[:16])+".dset")
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Name returns the content-addressed file name a key lives under in a
+// dataset directory.
+func (key Key) Name() string { return key.Addr() + ".dset" }
+
+// Path returns the content-addressed file a key lives at under dir.
+func (key Key) Path(dir string) string {
+	return filepath.Join(dir, key.Name())
 }
 
 // Get returns the dataset for key: from memory, else from the disk tier
@@ -175,8 +226,7 @@ func (s *Store) Get(key Key, gen func() (*Dataset, error)) (*Dataset, error) {
 			// missing, truncated, corrupted or colliding file is a plain
 			// disk miss and falls through to generation (which rewrites
 			// the file, healing corruption in place).
-			if ds, err := ReadFile(key.Path(dir)); err == nil &&
-				KeyOf(ds.Params(), ds.Warm(), ds.Measure()) == key {
+			if ds, err := s.openDisk(key, dir); err == nil {
 				s.bump(func(st *Stats) { st.DiskHits++ })
 				e.ds = ds
 			} else {
@@ -216,11 +266,66 @@ func (s *Store) Get(key Key, gen func() (*Dataset, error)) (*Dataset, error) {
 			if dir := s.Dir(); dir != "" {
 				// Best-effort: a read-only or full directory must not fail
 				// the sweep, it only costs the next cold start.
-				_ = WriteFile(key.Path(dir), e.ds)
+				if WriteFile(key.Path(dir), e.ds) == nil {
+					// We wrote the bytes ourselves; a later reopen can
+					// skip the checksum scan.
+					s.mu.Lock()
+					s.verified[key] = true
+					s.mu.Unlock()
+				}
 			}
 		}
 	})
 	return e.ds, e.err
+}
+
+// openDisk loads key's content-addressed file, preferring the mmap tier
+// when it is enabled: the columns alias the mapping zero-copy, the CRC
+// is verified on the key's first open only, and the mapped bytes are
+// tracked in Stats until the mapping's last reader is collected. Any
+// reason the mmap path can't serve this file (platform, byte order, the
+// syscall itself) falls back to the ReadFile copy; validation failures
+// do not — a corrupt file is corrupt either way.
+func (s *Store) openDisk(key Key, dir string) (*Dataset, error) {
+	path := key.Path(dir)
+	s.mu.Lock()
+	useMmap := s.mmap
+	verify := !s.verified[key]
+	s.mu.Unlock()
+	if useMmap {
+		ds, size, err := openMapped(path, verify, func(n int64) {
+			s.bump(func(st *Stats) { st.MappedBytes -= n })
+		})
+		switch {
+		case err == nil:
+			s.bump(func(st *Stats) { st.MappedBytes += size })
+			if KeyOf(ds.Params(), ds.Warm(), ds.Measure()) != key {
+				// Collision or misplaced file; the mapping is released
+				// when ds is collected.
+				return nil, fmt.Errorf("dataset: %s: content does not match key", path)
+			}
+			s.mu.Lock()
+			s.stats.MapHits++
+			s.verified[key] = true
+			s.mu.Unlock()
+			return ds, nil
+		case errors.Is(err, errMmapUnsupported):
+			// Fall through to the copy path.
+		default:
+			return nil, err
+		}
+	}
+	ds, err := ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if KeyOf(ds.Params(), ds.Warm(), ds.Measure()) != key {
+		return nil, fmt.Errorf("dataset: %s: content does not match key", path)
+	}
+	s.mu.Lock()
+	s.verified[key] = true
+	s.mu.Unlock()
+	return ds, nil
 }
 
 // bump applies one counter update under the store lock.

@@ -56,6 +56,9 @@ var (
 	// ErrLeaseGone means the lease existed but is no longer current: it
 	// expired and its range was re-queued (and possibly re-leased).
 	ErrLeaseGone = errors.New("distrib: lease no longer current")
+	// ErrUnknownDataset means a dataset fetch named a content key this
+	// sweep does not replay.
+	ErrUnknownDataset = errors.New("distrib: unknown dataset key")
 )
 
 // Config tunes a Coordinator.
@@ -83,6 +86,15 @@ type Config struct {
 	// CheckpointEvery compacts the WAL into a fresh checkpoint after
 	// this many logged events; <= 0 means 1024.
 	CheckpointEvery int
+	// DatasetDir, when non-empty, is where the coordinator finds — or
+	// materializes on first fetch — the sweep's content-addressed
+	// dataset files for workers fetching over the wire
+	// (GET /v1/dataset/{key}). Point it at a warm dataset directory and
+	// serving is a plain file stream; leave files missing and the
+	// coordinator generates and spills them on demand. Empty means
+	// fetched datasets are spilled next to the coordinator's other
+	// state (the spill dir).
+	DatasetDir string
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
 	// Logf, when non-nil, receives live progress lines (grants,
@@ -153,6 +165,10 @@ type Coordinator struct {
 	plan     *destset.SweepPlan
 	datasets []destset.SweepDataset
 	cells    map[cellKey]int // cell identity -> plan index
+	// wire indexes the sweep's datasets by content key for the fetch
+	// endpoint; dsetKeys preserves announcement order.
+	wire     map[string]*wireDataset
+	dsetKeys []string
 
 	mu      sync.Mutex
 	st      *walState
@@ -216,12 +232,27 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		}
 		cells[key] = i
 	}
+	wire := make(map[string]*wireDataset, len(datasets))
+	dsetKeys := make([]string, 0, len(datasets))
+	for _, sd := range datasets {
+		key, err := sd.ContentKey()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := wire[key]; dup {
+			continue
+		}
+		wire[key] = &wireDataset{sd: sd}
+		dsetKeys = append(dsetKeys, key)
+	}
 	c := &Coordinator{
 		cfg:      cfg,
 		def:      cfg.Def,
 		plan:     plan,
 		datasets: datasets,
 		cells:    cells,
+		wire:     wire,
+		dsetKeys: dsetKeys,
 		leased:   make(map[int]bool),
 		leases:   make(map[string]int),
 		done:     make(chan struct{}),
@@ -610,19 +641,61 @@ type SweepInfo struct {
 	// workers pointed at a warm dataset directory resolve them all
 	// before leasing any cells.
 	Datasets []destset.SweepDataset `json:"datasets,omitempty"`
+	// DatasetKeys are the coordinator's content addresses for Datasets
+	// (deduplicated, announcement order). A worker recomputes each key
+	// from the announced dataset and must agree before fetching — the
+	// dataset analogue of the plan fingerprint handshake.
+	DatasetKeys []string `json:"dataset_keys,omitempty"`
 }
 
 // Info returns the handshake payload.
 func (c *Coordinator) Info() SweepInfo {
 	return SweepInfo{
-		Plan:       c.plan.Fingerprint(),
-		Kind:       c.def.Kind,
-		Cells:      c.plan.Len(),
-		Tasks:      len(c.tasks),
-		LeaseTTLMs: c.cfg.LeaseTTL.Milliseconds(),
-		Def:        c.def,
-		Datasets:   c.datasets,
+		Plan:        c.plan.Fingerprint(),
+		Kind:        c.def.Kind,
+		Cells:       c.plan.Len(),
+		Tasks:       len(c.tasks),
+		LeaseTTLMs:  c.cfg.LeaseTTL.Milliseconds(),
+		Def:         c.def,
+		Datasets:    c.datasets,
+		DatasetKeys: c.dsetKeys,
 	}
+}
+
+// wireDataset is one fetchable dataset: its definition plus the
+// lazily-materialized serving file. The once makes materialization —
+// including validation of a pre-existing file — happen exactly once per
+// coordinator, however many workers fetch concurrently.
+type wireDataset struct {
+	sd   destset.SweepDataset
+	once sync.Once
+	path string
+	err  error
+}
+
+// DatasetPath resolves a content key to the on-disk dataset file the
+// fetch endpoint streams, materializing it on first use: an existing
+// valid file in the dataset dir is served as-is, otherwise the dataset
+// is generated and spilled there (or, with no dataset dir configured,
+// next to the coordinator's spill files). Unknown keys — anything this
+// sweep does not replay — are refused, so the endpoint can never be
+// used to make a coordinator generate arbitrary datasets.
+func (c *Coordinator) DatasetPath(key string) (string, error) {
+	wd, ok := c.wire[key]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownDataset, key)
+	}
+	wd.once.Do(func() {
+		dir := c.cfg.DatasetDir
+		if dir == "" {
+			dir = c.st.spillDir
+		}
+		wd.path, wd.err = wd.sd.SpillTo(dir)
+		if wd.err == nil {
+			c.logf("dataset %s ready at %s", key, wd.path)
+		}
+	})
+	return wd.path, wd.err
 }
 
 // Lease is one granted cell range.

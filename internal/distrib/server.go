@@ -4,22 +4,30 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"strconv"
 )
 
 // The wire protocol, one endpoint per coordinator method:
 //
-//	GET  /v1/sweep      -> SweepInfo (open: the handshake)
-//	POST /v1/lease      {worker, plan} -> LeaseReply
-//	POST /v1/heartbeat  {worker, plan, lease} -> 204
-//	POST /v1/fail       {worker, plan, lease, error} -> 204
-//	POST /v1/complete   ?worker=&plan=&lease=  body: JSONL records -> CompleteReply
-//	GET  /v1/progress   -> Progress
+//	GET  /v1/sweep          -> SweepInfo (open: the handshake)
+//	POST /v1/lease          {worker, plan} -> LeaseReply
+//	POST /v1/heartbeat      {worker, plan, lease} -> 204
+//	POST /v1/fail           {worker, plan, lease, error} -> 204
+//	POST /v1/complete       ?worker=&plan=&lease=  body: JSONL records -> CompleteReply
+//	GET  /v1/progress       -> Progress
+//	GET  /v1/dataset/{key}  -> the content-addressed dataset file bytes
 //
-// Every request except the handshake carries the plan fingerprint; a
-// mismatch is 409 Conflict. An unknown lease id is 404, a stale one
-// (expired and re-queued) is 410 Gone, an unusable upload is 400 (and
-// the range is already re-queued by the time the response is written).
+// Every request except the handshake and the dataset fetch carries the
+// plan fingerprint; a mismatch is 409 Conflict. An unknown lease id is
+// 404, a stale one (expired and re-queued) is 410 Gone, an unusable
+// upload is 400 (and the range is already re-queued by the time the
+// response is written). A dataset key the sweep does not replay is 404;
+// the served bytes carry their own CRC (the columnar file format), so
+// receivers validate the payload end to end without a separate digest
+// header.
 
 // workerRequest is the JSON body of lease, heartbeat and fail requests.
 type workerRequest struct {
@@ -37,6 +45,27 @@ func NewHandler(c *Coordinator) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/progress", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, c.Progress())
+	})
+	mux.HandleFunc("GET /v1/dataset/{key}", func(w http.ResponseWriter, r *http.Request) {
+		path, err := c.DatasetPath(r.PathValue("key"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		defer f.Close()
+		fi, err := f.Stat()
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.FormatInt(fi.Size(), 10))
+		io.Copy(w, f)
 	})
 	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
 		var req workerRequest
@@ -106,7 +135,7 @@ func writeErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrPlanMismatch):
 		code = http.StatusConflict
-	case errors.Is(err, ErrUnknownLease):
+	case errors.Is(err, ErrUnknownLease), errors.Is(err, ErrUnknownDataset):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrLeaseGone):
 		code = http.StatusGone

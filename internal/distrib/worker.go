@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"destset"
@@ -45,6 +46,11 @@ type WorkerConfig struct {
 	// — a failure-injection knob: kill the worker during the hold and
 	// the lease dies with it, exercising expiry and retry.
 	Hold time.Duration
+	// FetchHold delays each dataset wire fetch between receiving the
+	// response and installing it — the fetch path's failure-injection
+	// knob: kill the worker during the hold and it dies genuinely
+	// mid-fetch, with the transfer open and nothing installed.
+	FetchHold time.Duration
 	// NoPrewarm skips resolving the coordinator's pre-announced datasets
 	// before leasing. The default (prewarm) is what lets a fleet sharing
 	// a warm dataset directory start without a single regeneration.
@@ -60,6 +66,11 @@ type WorkerStats struct {
 	Leases, Cells int
 	// Prewarmed counts pre-announced datasets resolved before leasing.
 	Prewarmed int
+	// Fetched and FetchedBytes count datasets pulled over the wire
+	// during prewarm — datasets found neither in the process cache nor
+	// in the local dataset directory.
+	Fetched      int
+	FetchedBytes int64
 }
 
 // maxNetFailures bounds consecutive unreachable-coordinator retries
@@ -69,6 +80,12 @@ const maxNetFailures = 10
 // maxUploadAttempts bounds retries of one completion upload on network
 // failure; past it the lease is left to expire and re-run elsewhere.
 const maxUploadAttempts = 3
+
+// maxFetchAttempts bounds retries of one dataset wire fetch. Receipt
+// validation failures (truncated body, CRC mismatch) retry like network
+// failures: both look the same after a dropped connection, and a
+// coordinator restart mid-transfer heals on the next attempt.
+const maxFetchAttempts = 4
 
 // backoff produces jittered exponential retry delays: each delay is
 // drawn from [cur/2, 3·cur/2) — the jitter keeps a fleet that lost its
@@ -101,6 +118,41 @@ type worker struct {
 	info   SweepInfo
 	planFP string
 	stats  WorkerStats
+	fg     fetchGroup
+}
+
+// fetchGroup deduplicates concurrent wire fetches per content key:
+// however many prewarm goroutines want the same dataset, exactly one
+// GET runs and the rest wait on its outcome.
+type fetchGroup struct {
+	mu    sync.Mutex
+	calls map[string]*fetchCall
+}
+
+// fetchCall is one in-flight (or finished) fetch; done is closed when
+// n and err are final.
+type fetchCall struct {
+	done chan struct{}
+	n    int64
+	err  error
+}
+
+// totals sums the group's successful fetches.
+func (g *fetchGroup) totals() (fetched int, bytes int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, c := range g.calls {
+		select {
+		case <-c.done:
+		default:
+			continue
+		}
+		if c.err == nil {
+			fetched++
+			bytes += c.n
+		}
+	}
+	return fetched, bytes
 }
 
 // RunWorker executes sweep cells for a coordinator until the sweep
@@ -191,23 +243,139 @@ func (w *worker) handshake(ctx context.Context) error {
 }
 
 // prewarm resolves the coordinator's pre-announced datasets through the
-// process-wide tiered store before any lease is taken: against a warm
-// shared dataset directory every one is a disk load, so the whole fleet
-// starts without a single redundant generation.
+// process-wide tiered store before any lease is taken: a memory hit,
+// else a local dataset-dir load, else — when a local dataset directory
+// is configured — a wire fetch from the coordinator, installed
+// atomically after full receipt validation and then loaded like any
+// local file. Against a warm shared directory every dataset is a disk
+// load; with empty private directories the whole fleet still starts
+// without a single generation, because the bytes come over the wire.
+// Without a local directory there is nowhere to install, so missing
+// datasets generate exactly as before.
 func (w *worker) prewarm(ctx context.Context) error {
 	if w.cfg.NoPrewarm || len(w.info.Datasets) == 0 {
 		return nil
 	}
 	datasets := w.info.Datasets
+	// The dataset half of the handshake: every locally-derived content
+	// key must be one the coordinator announced, so two sides that
+	// render a workload's identity differently (version skew) refuse
+	// before any bytes move.
+	announced := make(map[string]bool, len(w.info.DatasetKeys))
+	for _, k := range w.info.DatasetKeys {
+		announced[k] = true
+	}
+	keys := make([]string, len(datasets))
+	for i, sd := range datasets {
+		key, err := sd.ContentKey()
+		if err != nil {
+			return fmt.Errorf("distrib: prewarming datasets: %w", err)
+		}
+		if len(announced) > 0 && !announced[key] {
+			return fmt.Errorf("%w: dataset %d resolves to content key %s, which the coordinator did not announce (version skew?)",
+				ErrPlanMismatch, i, key)
+		}
+		keys[i] = key
+	}
+	dir := destset.DatasetDir()
 	err := sweep.ForEach(ctx, len(datasets), w.cfg.Parallelism, func(i int) error {
-		return datasets[i].Prewarm()
+		sd := datasets[i]
+		if dir != "" && !sd.Cached() && !sd.Stored(dir) {
+			if err := w.fetchShared(ctx, sd, keys[i], dir); err != nil {
+				return err
+			}
+		}
+		return sd.Prewarm()
 	})
 	if err != nil {
 		return fmt.Errorf("distrib: prewarming datasets: %w", err)
 	}
 	w.stats.Prewarmed = len(datasets)
+	w.stats.Fetched, w.stats.FetchedBytes = w.fg.totals()
+	if w.stats.Fetched > 0 {
+		w.logf("worker %s: fetched %d datasets (%d bytes)", w.name, w.stats.Fetched, w.stats.FetchedBytes)
+	}
 	w.logf("worker %s: resolved %d pre-announced dataset(s)", w.name, len(datasets))
 	return nil
+}
+
+// fetchShared runs at most one wire fetch per content key; concurrent
+// callers of the same key wait for the single in-flight fetch.
+func (w *worker) fetchShared(ctx context.Context, sd destset.SweepDataset, key, dir string) error {
+	w.fg.mu.Lock()
+	if w.fg.calls == nil {
+		w.fg.calls = make(map[string]*fetchCall)
+	}
+	if c, ok := w.fg.calls[key]; ok {
+		w.fg.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.err
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	c := &fetchCall{done: make(chan struct{})}
+	w.fg.calls[key] = c
+	w.fg.mu.Unlock()
+	c.n, c.err = w.fetchDataset(ctx, sd, key, dir)
+	close(c.done)
+	return c.err
+}
+
+// fetchDataset pulls one dataset from the coordinator with the jittered
+// backoff the rest of the worker uses: transfer and validation failures
+// alike retry up to maxFetchAttempts — a truncated body, a corrupted
+// payload and a coordinator bounced mid-transfer all heal the same way,
+// by asking again.
+func (w *worker) fetchDataset(ctx context.Context, sd destset.SweepDataset, key, dir string) (int64, error) {
+	bo := backoff{base: w.cfg.RetryBase, max: w.cfg.RetryMax}
+	var lastErr error
+	for attempt := 1; attempt <= maxFetchAttempts; attempt++ {
+		n, err := w.fetchOnce(ctx, sd, key, dir)
+		if err == nil {
+			w.logf("worker %s: dataset %s: fetched %d bytes", w.name, key, n)
+			return n, nil
+		}
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		lastErr = err
+		if attempt < maxFetchAttempts {
+			delay := bo.next()
+			w.logf("worker %s: dataset %s: fetch attempt %d failed (%v); retrying in %s",
+				w.name, key, attempt, err, delay.Round(time.Millisecond))
+			if !sleepCtx(ctx, delay) {
+				return 0, ctx.Err()
+			}
+		}
+	}
+	return 0, fmt.Errorf("distrib: fetching dataset %s after %d attempts: %w", key, maxFetchAttempts, lastErr)
+}
+
+// fetchOnce is one fetch attempt: GET the content-addressed bytes and
+// install them under dir (validated, temp + rename) only after the
+// whole body checks out.
+func (w *worker) fetchOnce(ctx context.Context, sd destset.SweepDataset, key, dir string) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+"/v1/dataset/"+key, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("distrib: /v1/dataset/%s: %s", key, httpError(resp))
+	}
+	if w.cfg.FetchHold > 0 {
+		w.logf("worker %s: dataset %s: holding fetch for %s", w.name, key, w.cfg.FetchHold)
+		if !sleepCtx(ctx, w.cfg.FetchHold) {
+			return 0, ctx.Err()
+		}
+	}
+	return sd.InstallTo(dir, resp.Body)
 }
 
 // leaseLoop leases, executes and uploads ranges until done. Failures to

@@ -3,6 +3,8 @@ package destset
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"os"
 
 	"destset/internal/dataset"
 	"destset/internal/sweep"
@@ -217,29 +219,158 @@ type SweepDataset struct {
 	Measure int `json:"measure"`
 }
 
+// params resolves the dataset's fully-specified workload parameters
+// (seed already applied) — the identity its content address hashes.
+func (sd SweepDataset) params() (workload.Params, error) {
+	w := sd.Workload
+	switch {
+	case w.Open != nil:
+		return workload.Params{}, fmt.Errorf("destset: workload %q uses a custom Open stream source and has no shared dataset", w.label())
+	case w.Params != nil:
+		p := *w.Params
+		p.Seed = sd.Seed
+		return p, nil
+	case w.Name != "":
+		return workload.Preset(w.Name, sd.Seed)
+	default:
+		return workload.Params{}, fmt.Errorf("destset: workload spec needs a Name, Params or Open source")
+	}
+}
+
+// key resolves the dataset's tiered-store key.
+func (sd SweepDataset) key() (dataset.Key, error) {
+	p, err := sd.params()
+	if err != nil {
+		return dataset.Key{}, err
+	}
+	return dataset.KeyOf(p, sd.Warm, sd.Measure), nil
+}
+
 // Prewarm materializes the dataset through the process-wide tiered
 // store: a memory hit, else a dataset-dir load, else a generation (which
 // spills to the dir for the rest of the fleet).
 func (sd SweepDataset) Prewarm() error {
-	w := sd.Workload
-	var p workload.Params
-	switch {
-	case w.Open != nil:
-		return fmt.Errorf("destset: workload %q uses a custom Open stream source and has no shared dataset", w.label())
-	case w.Params != nil:
-		p = *w.Params
-		p.Seed = sd.Seed
-	case w.Name != "":
-		var err error
-		p, err = workload.Preset(w.Name, sd.Seed)
-		if err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("destset: workload spec needs a Name, Params or Open source")
+	p, err := sd.params()
+	if err != nil {
+		return err
 	}
-	_, err := dataset.GetShared(p, sd.Warm, sd.Measure)
+	_, err = dataset.GetShared(p, sd.Warm, sd.Measure)
 	return err
+}
+
+// ContentKey returns the dataset's content address — the fixed-width
+// hex name its file lives under in any dataset directory, and the key
+// workers use to fetch it over the wire (GET /v1/dataset/{key}). Both
+// sides derive the address independently from the announced
+// SweepDataset, so a coordinator and worker that disagree about a
+// workload's identity can never exchange bytes for it.
+func (sd SweepDataset) ContentKey() (string, error) {
+	key, err := sd.key()
+	if err != nil {
+		return "", err
+	}
+	return key.Addr(), nil
+}
+
+// Cached reports whether the dataset is resident in the process-wide
+// store's memory tier right now.
+func (sd SweepDataset) Cached() bool {
+	key, err := sd.key()
+	if err != nil {
+		return false
+	}
+	return dataset.Shared.Contains(key)
+}
+
+// Stored reports whether the dataset's content-addressed file exists
+// under dir. It checks existence only — a corrupt file is caught by the
+// CRC validation on load and heals through regeneration or refetch.
+func (sd SweepDataset) Stored(dir string) bool {
+	key, err := sd.key()
+	if err != nil || dir == "" {
+		return false
+	}
+	_, statErr := os.Stat(key.Path(dir))
+	return statErr == nil
+}
+
+// InstallTo streams r into the dataset's content-addressed file under
+// dir with the fetch-receipt discipline: the bytes land in a temporary
+// file, are fully validated (header, layout, payload CRC, and decoded
+// identity against this dataset's key), and only then renamed into
+// place — a truncated, corrupted or mislabeled transfer never becomes
+// visible to the store. Returns the installed byte count.
+func (sd SweepDataset) InstallTo(dir string, r io.Reader) (int64, error) {
+	key, err := sd.key()
+	if err != nil {
+		return 0, err
+	}
+	if dir == "" {
+		return 0, fmt.Errorf("destset: no dataset directory to install into")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	f, err := os.CreateTemp(dir, ".dset-*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	n, err := io.Copy(f, r)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	ds, err := dataset.ReadFile(tmp)
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if dataset.KeyOf(ds.Params(), ds.Warm(), ds.Measure()) != key {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("destset: fetched dataset %s does not match its key", key.Addr())
+	}
+	if err := os.Rename(tmp, key.Path(dir)); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return n, nil
+}
+
+// SpillTo materializes the dataset's content-addressed file under dir
+// and returns its path — the coordinator's serving primitive. An
+// existing valid file is reused as-is; otherwise the dataset is
+// generated (without touching the process-wide store) and written
+// atomically. Generation is deterministic, so every process spilling
+// the same key writes byte-identical files.
+func (sd SweepDataset) SpillTo(dir string) (string, error) {
+	p, err := sd.params()
+	if err != nil {
+		return "", err
+	}
+	key := dataset.KeyOf(p, sd.Warm, sd.Measure)
+	if dir == "" {
+		return "", fmt.Errorf("destset: no dataset directory to spill into")
+	}
+	path := key.Path(dir)
+	if ds, err := dataset.ReadFile(path); err == nil &&
+		dataset.KeyOf(ds.Params(), ds.Warm(), ds.Measure()) == key {
+		return path, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	ds, err := dataset.Generate(p, sd.Warm, sd.Measure)
+	if err != nil {
+		return "", err
+	}
+	if err := dataset.WriteFile(path, ds); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 // Datasets enumerates the shared datasets the sweep's cells replay, one
