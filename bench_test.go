@@ -307,6 +307,122 @@ func BenchmarkDatasetFetch(b *testing.B) {
 	b.ReportMetric(float64(bytesFetched), "bytes")
 }
 
+// BenchmarkDatasetFetchP2P measures the peer fabric's fan-out: per
+// iteration eight simulated workers resolve the same ~1.6MB dataset —
+// each asks /v1/holders first, pulls from the hinted peer when one
+// exists and from the coordinator otherwise, installs with full receipt
+// validation, then serves and announces its own copy. The coordinator
+// uplink streams the bytes roughly once; the other seven transfers ride
+// peers. coord_B/op vs peer_B/op is the uplink relief the fabric buys —
+// compare BenchmarkDatasetFetch, where every transfer is the uplink.
+func BenchmarkDatasetFetchP2P(b *testing.B) {
+	def := destset.NewTimingSweepDef(
+		[]destset.SimSpec{{Protocol: destset.ProtocolSnooping}},
+		[]destset.WorkloadSpec{{Name: "oltp", Warm: 20_000, Measure: 20_000}},
+		destset.WithSeeds(1),
+	)
+	datasets, err := def.Datasets()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sd := datasets[0]
+	key, err := sd.ContentKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := def.Plan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	planFP := plan.Fingerprint()
+	serveDir := b.TempDir()
+	if _, err := sd.SpillTo(serveDir); err != nil { // materialize once; GETs stream the file
+		b.Fatal(err)
+	}
+	const workers = 8
+
+	b.ResetTimer()
+	var coordBytes, peerBytes int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		net := distrib.NewMemNet()
+		coord, err := distrib.NewCoordinator(distrib.Config{Def: def, LeaseTTL: time.Minute, DatasetDir: serveDir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		coordSrv := &http.Server{Handler: distrib.NewHandler(coord)}
+		go coordSrv.Serve(net.Listen("coordinator"))
+		client := net.Client()
+		dirs := make([]string, workers)
+		for wi := range dirs {
+			dirs[wi] = b.TempDir()
+		}
+		peerSrvs := make([]*http.Server, 0, workers)
+		b.StartTimer()
+
+		for wi := 0; wi < workers; wi++ {
+			// Hint first, exactly like the worker fetch path.
+			src := "http://coordinator"
+			fromPeer := false
+			if resp, err := client.Get("http://coordinator/v1/holders/" + key); err == nil {
+				var reply distrib.HoldersReply
+				if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&reply) == nil && len(reply.Holders) > 0 {
+					src = reply.Holders[0]
+					fromPeer = true
+				}
+				resp.Body.Close()
+			}
+			resp, err := client.Get(src + "/v1/dataset/" + key)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("fetch from %s: status %d", src, resp.StatusCode)
+			}
+			n, err := sd.InstallTo(dirs[wi], resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if fromPeer {
+				peerBytes += n
+			}
+			// Become a holder: serve the installed file and announce it.
+			path, err := sd.PathIn(dirs[wi])
+			if err != nil {
+				b.Fatal(err)
+			}
+			host := fmt.Sprintf("w%d", wi)
+			mux := http.NewServeMux()
+			mux.HandleFunc("GET /v1/dataset/{key}", func(w http.ResponseWriter, r *http.Request) {
+				http.ServeFile(w, r, path)
+			})
+			srv := &http.Server{Handler: mux}
+			go srv.Serve(net.Listen(host))
+			peerSrvs = append(peerSrvs, srv)
+			body, _ := json.Marshal(map[string]any{
+				"worker": host, "plan": planFP, "peer": "http://" + host, "holds": []string{key},
+			})
+			aresp, err := client.Post("http://coordinator/v1/announce", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			aresp.Body.Close()
+		}
+
+		b.StopTimer()
+		coordBytes += coord.Progress().DatasetBytesServed
+		for _, srv := range peerSrvs {
+			srv.Close()
+		}
+		coordSrv.Close()
+		coord.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(coordBytes)/float64(b.N), "coord_B/op")
+	b.ReportMetric(float64(peerBytes)/float64(b.N), "peer_B/op")
+}
+
 // BenchmarkResultStoreLookup measures a cold process start against a
 // warm on-disk result tier: per iteration a fresh store (no memory
 // residents, as after exec) resolves every cell of a small timing plan

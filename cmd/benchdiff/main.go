@@ -102,11 +102,13 @@ func index(rows []row) map[string]row {
 // plumbing), the cold-start-from-disk dataset load (guarding the
 // tiered store's copy read path and, via the Mmap variant, the
 // zero-copy mapping that must stay allocation-flat), the dataset wire
-// fetch (guarding the mountless worker's install path), the cold
-// result-store cell lookup (guarding the incremental-rerun hit path),
-// the distributed coordinator's lease/complete round trip (guarding
-// the sweepd protocol hot path), plus the hot-path micro-benchmarks.
-const defaultKeys = "BenchmarkTable2,BenchmarkFigure5,BenchmarkFigure7,BenchmarkDatasetColdStart,BenchmarkDatasetColdStartMmap,BenchmarkDatasetFetch,BenchmarkResultStoreLookup,BenchmarkLeaseDispatch,BenchmarkProtocolMulticastProcess,BenchmarkPredictorPredict/Group,BenchmarkPredictorTrain"
+// fetch (guarding the mountless worker's install path; the P2P variant
+// guards the peer fan-out, where coord_B/op must stay one dataset copy
+// however many workers join), the cold result-store cell lookup
+// (guarding the incremental-rerun hit path), the distributed
+// coordinator's lease/complete round trip (guarding the sweepd
+// protocol hot path), plus the hot-path micro-benchmarks.
+const defaultKeys = "BenchmarkTable2,BenchmarkFigure5,BenchmarkFigure7,BenchmarkDatasetColdStart,BenchmarkDatasetColdStartMmap,BenchmarkDatasetFetch,BenchmarkDatasetFetchP2P,BenchmarkResultStoreLookup,BenchmarkLeaseDispatch,BenchmarkProtocolMulticastProcess,BenchmarkPredictorPredict/Group,BenchmarkPredictorTrain"
 
 // compare reports per-key deltas and whether any exceeds the thresholds.
 func compare(baseline, latest map[string]row, keys []string, timePct, bytesPct float64) (lines []string, failed bool) {

@@ -38,7 +38,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"destset"
@@ -170,10 +172,22 @@ type Coordinator struct {
 	wire     map[string]*wireDataset
 	dsetKeys []string
 
+	// dsBytes counts dataset bytes the coordinator's own uplink served
+	// over GET /v1/dataset; peerHints counts /v1/holders responses that
+	// carried at least one live peer — fetches the uplink did not have
+	// to serve. Both are written by HTTP handlers outside mu.
+	dsBytes   atomic.Int64
+	peerHints atomic.Int64
+
 	mu      sync.Mutex
 	st      *walState
 	tasks   []*task
 	pending []int // task indices, front = next granted
+	// peers is the holder directory: for each worker that announced a
+	// peer dataset server, its base URL and the content keys it holds.
+	// Entries are pruned when the worker's lease expires and ignored
+	// once the worker falls off the liveness horizon.
+	peers map[string]*peerHolder
 	// leased holds the currently-granted task indices, so lazy expiry
 	// scans O(outstanding leases), not O(all tasks).
 	leased      map[int]bool
@@ -257,6 +271,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		leases:   make(map[string]int),
 		done:     make(chan struct{}),
 		workers:  make(map[string]time.Time),
+		peers:    make(map[string]*peerHolder),
 	}
 
 	var cp *checkpoint
@@ -698,6 +713,88 @@ func (c *Coordinator) DatasetPath(key string) (string, error) {
 	return wd.path, wd.err
 }
 
+// peerHolder is one worker's advertised peer dataset server: its base
+// URL and the content keys it is believed to hold. Workers are servers
+// too — the wire format is content-addressed and every receiver
+// re-validates the full payload, so an untrusted (or stale, or lying)
+// holder can waste a fetch attempt but never poison an install.
+type peerHolder struct {
+	addr string
+	keys map[string]bool
+}
+
+// Announce registers a worker's peer dataset server address and the
+// content keys it newly holds, growing the holder directory the
+// /v1/holders hints are answered from. Workers announce at handshake
+// (keys already in their dataset dir), after each wire fetch installs,
+// and after prewarm generations; later announcements are cumulative.
+// Keys the sweep does not replay are refused — version skew, not data.
+func (c *Coordinator) Announce(worker, planFP, peer string, holds []string) error {
+	if err := c.checkPlan(planFP); err != nil {
+		return err
+	}
+	if worker == "" {
+		return fmt.Errorf("distrib: announce needs a worker name")
+	}
+	for _, k := range holds {
+		if _, ok := c.wire[k]; !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownDataset, k)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[worker] = c.cfg.Now()
+	p := c.peers[worker]
+	if p == nil {
+		p = &peerHolder{keys: make(map[string]bool)}
+		c.peers[worker] = p
+	}
+	if peer != "" {
+		p.addr = peer
+	}
+	for _, k := range holds {
+		p.keys[k] = true
+	}
+	return nil
+}
+
+// HoldersReply is the /v1/holders response: peer base URLs believed to
+// hold the key, shuffled so a thundering fleet spreads across holders.
+type HoldersReply struct {
+	Key     string   `json:"key"`
+	Holders []string `json:"holders"`
+}
+
+// Holders answers one fetch hint: the shuffled addresses of live
+// workers holding key. Liveness is the same two-TTL horizon the worker
+// count uses, and an expired lease prunes its worker's entry outright —
+// a dead worker stops being hinted as soon as its lease dies. Unknown
+// keys are refused like the fetch endpoint refuses them.
+func (c *Coordinator) Holders(key string) (HoldersReply, error) {
+	if _, ok := c.wire[key]; !ok {
+		return HoldersReply{}, fmt.Errorf("%w: %s", ErrUnknownDataset, key)
+	}
+	now := c.cfg.Now()
+	c.mu.Lock()
+	horizon := now.Add(-2 * c.cfg.LeaseTTL)
+	var out []string
+	for name, p := range c.peers {
+		if p.addr == "" || !p.keys[key] {
+			continue
+		}
+		if seen, ok := c.workers[name]; !ok || !seen.After(horizon) {
+			continue
+		}
+		out = append(out, p.addr)
+	}
+	c.mu.Unlock()
+	rand.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	if len(out) > 0 {
+		c.peerHints.Add(1)
+	}
+	return HoldersReply{Key: key, Holders: out}, nil
+}
+
 // Lease is one granted cell range.
 type Lease struct {
 	ID string `json:"id"`
@@ -739,6 +836,10 @@ func (c *Coordinator) expireLocked(now time.Time) {
 				t.leaseID, t.worker, t.lo, t.hi, t.attempts)
 			c.recordLocked(walEvent{E: "expire", Task: i, Lease: t.leaseID, Worker: t.worker})
 			t.lastFailed = t.worker
+			// An expired lease usually means a dead worker: stop hinting
+			// it as a dataset holder. A live-but-slow worker re-announces
+			// on its next contact.
+			delete(c.peers, t.worker)
 			c.requeueLocked(i)
 		}
 	}
@@ -1060,6 +1161,15 @@ type Progress struct {
 	PendingCells  int `json:"pending_cells"`
 	// Workers counts workers seen within the last two lease TTLs.
 	Workers int `json:"workers"`
+	// DatasetBytesServed counts dataset bytes the coordinator's own
+	// uplink served over GET /v1/dataset — with peer fetch on, ~one
+	// copy per key regardless of fleet size. PeerHintsServed counts
+	// /v1/holders responses carrying at least one live peer (fetches
+	// the uplink did not have to serve); PeerHolders counts workers
+	// currently registered in the holder directory.
+	DatasetBytesServed int64 `json:"dataset_bytes_served"`
+	PeerHintsServed    int64 `json:"peer_hints_served"`
+	PeerHolders        int   `json:"peer_holders"`
 	// Draining means the coordinator has stopped granting leases and is
 	// waiting out the outstanding ones (graceful shutdown).
 	Draining bool   `json:"draining,omitempty"`
@@ -1078,16 +1188,19 @@ func (c *Coordinator) Progress() Progress {
 	defer c.mu.Unlock()
 	c.expireLocked(now)
 	p := Progress{
-		Plan:          c.plan.Fingerprint(),
-		Kind:          c.def.Kind,
-		Cells:         c.plan.Len(),
-		DoneCells:     c.doneCells,
-		CachedCells:   c.cachedCells,
-		ComputedCells: c.doneCells - c.cachedCells,
-		LeasedCells:   c.leasedCells,
-		PendingCells:  c.plan.Len() - c.doneCells - c.leasedCells,
-		Draining:      c.draining,
-		Done:          c.doneTasks == len(c.tasks),
+		Plan:               c.plan.Fingerprint(),
+		Kind:               c.def.Kind,
+		Cells:              c.plan.Len(),
+		DoneCells:          c.doneCells,
+		CachedCells:        c.cachedCells,
+		ComputedCells:      c.doneCells - c.cachedCells,
+		LeasedCells:        c.leasedCells,
+		PendingCells:       c.plan.Len() - c.doneCells - c.leasedCells,
+		Draining:           c.draining,
+		Done:               c.doneTasks == len(c.tasks),
+		DatasetBytesServed: c.dsBytes.Load(),
+		PeerHintsServed:    c.peerHints.Load(),
+		PeerHolders:        len(c.peers),
 	}
 	if c.cfg.Results != nil {
 		stats := c.cfg.Results.Stats()

@@ -11,6 +11,7 @@ package distrib_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -311,5 +312,131 @@ func TestFetchCoordinatorRestartMidFetch(t *testing.T) {
 	}
 	if !bytes.Equal(got.Bytes(), want) {
 		t.Error("output differs from the single-process run after the mid-fetch restart")
+	}
+}
+
+// TestWorkerFetchesFromSeededPeer is the end-to-end peer-fabric
+// property: with one pre-seeded peer announced as holder of every
+// dataset, a mountless worker completes the whole sweep without the
+// coordinator uplink streaming a single dataset byte — the bytes come
+// from the peer, validated on receipt exactly like coordinator bytes —
+// and the merged output is still byte-identical to the single-process
+// run.
+func TestWorkerFetchesFromSeededPeer(t *testing.T) {
+	def := timingDef()
+	want := localJSONL(t, def)
+	datasets, err := def.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The seed: a warm directory with every dataset materialized,
+	// served read-only on its own in-memory host.
+	seedDir := t.TempDir()
+	paths := make(map[string]string, len(datasets))
+	keys := make([]string, len(datasets))
+	for i, sd := range datasets {
+		if keys[i], err = sd.ContentKey(); err != nil {
+			t.Fatal(err)
+		}
+		if paths[keys[i]], err = sd.SpillTo(seedDir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net := distrib.NewMemNet()
+	seedMux := http.NewServeMux()
+	seedMux.HandleFunc("GET /v1/dataset/{key}", func(w http.ResponseWriter, r *http.Request) {
+		path, ok := paths[r.PathValue("key")]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		http.ServeFile(w, r, path)
+	})
+	seedLn := net.Listen("seedpeer")
+	seedSrv := &http.Server{Handler: seedMux}
+	go seedSrv.Serve(seedLn)
+	t.Cleanup(func() { seedSrv.Close(); seedLn.Close() })
+
+	var dsGets atomic.Int64
+	coord, err := distrib.NewCoordinator(distrib.Config{Def: def, LeaseTTL: 5 * time.Second, DatasetDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := distrib.NewHandler(coord)
+	outer := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/dataset/") {
+			dsGets.Add(1)
+		}
+		inner.ServeHTTP(w, r)
+	})
+	coordLn := net.Listen("coordinator")
+	coordSrv := &http.Server{Handler: outer}
+	go coordSrv.Serve(coordLn)
+	t.Cleanup(func() { coordSrv.Close(); coordLn.Close(); coord.Close() })
+
+	// Register the seed as holder of everything, exactly as a live
+	// worker's handshake announcement would.
+	plan, err := def.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(map[string]any{
+		"worker": "seed", "plan": plan.Fingerprint(), "peer": "http://seedpeer", "holds": keys,
+	})
+	resp, err := net.Client().Post("http://coordinator/v1/announce", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("announce: status %d", resp.StatusCode)
+	}
+
+	resetSharedDatasets(t, t.TempDir())
+	before := destset.DatasetCacheStats()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	stats, err := distrib.RunWorker(ctx, distrib.WorkerConfig{
+		URL:           "http://coordinator",
+		Client:        net.Client(),
+		Name:          "leecher",
+		Parallelism:   2,
+		PollInterval:  20 * time.Millisecond,
+		RetryBase:     10 * time.Millisecond,
+		PeerListener:  net.Listen("leecher"),
+		PeerAdvertise: "http://leecher",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fetched != 2 || stats.FetchedFromPeers != 2 {
+		t.Errorf("stats = %+v, want 2 fetched, 2 from peers", stats)
+	}
+	if n := dsGets.Load(); n != 0 {
+		t.Errorf("coordinator uplink served %d dataset GETs, want 0 (all bytes peer-to-peer)", n)
+	}
+	if gens := destset.DatasetCacheStats().Generations - before.Generations; gens != 0 {
+		t.Errorf("worker generated %d datasets, want 0", gens)
+	}
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	prog := coord.Progress()
+	if prog.DatasetBytesServed != 0 {
+		t.Errorf("Progress.DatasetBytesServed = %d, want 0", prog.DatasetBytesServed)
+	}
+	if prog.PeerHintsServed == 0 {
+		t.Error("Progress.PeerHintsServed = 0, want > 0")
+	}
+	if prog.PeerHolders < 2 {
+		t.Errorf("Progress.PeerHolders = %d, want >= 2 (the seed and the worker)", prog.PeerHolders)
+	}
+	var got bytes.Buffer
+	if err := coord.WriteMerged(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Error("peer-fetched distributed output differs from the single-process run")
 	}
 }
