@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"destset/internal/dataset"
 	"destset/internal/distrib"
 	"destset/internal/experiments"
+	"destset/internal/ingest"
 	"destset/internal/nodeset"
 	"destset/internal/predictor"
 	"destset/internal/protocol"
@@ -627,4 +629,37 @@ func BenchmarkLeaseDispatch(b *testing.B) {
 			b.Fatalf("iteration %d: completion not accepted (%+v)", i, cr)
 		}
 	}
+}
+
+// BenchmarkIngestCSV measures the external-trace import path: parsing a
+// 20k-line CSV trace and replaying it through the coherence oracle into
+// an annotated columnar dataset (internal/ingest). SetBytes reports
+// parse+annotate throughput over the raw input bytes.
+func BenchmarkIngestCSV(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("addr,cpu,op,pc,gap\n")
+	state := uint64(0x9e3779b97f4a7c15)
+	const lines = 20_000
+	for i := 0; i < lines; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		fmt.Fprintf(&sb, "0x%x,%d,%s,0x%x,%d\n",
+			0x10000+(state>>9%512)*64, state%8, []string{"R", "W"}[state>>20&1],
+			0x40000+4*(state>>24%1024), 100+state>>40%300)
+	}
+	in := sb.String()
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := ingest.Import(strings.NewReader(in), ingest.FormatCSV,
+			ingest.Options{Name: "bench-import", Warm: 5_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ds.Len() != lines {
+			b.Fatalf("imported %d records, want %d", ds.Len(), lines)
+		}
+	}
+	b.ReportMetric(lines, "records")
 }

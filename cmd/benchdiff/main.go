@@ -107,8 +107,10 @@ func index(rows []row) map[string]row {
 // however many workers join), the cold result-store cell lookup
 // (guarding the incremental-rerun hit path), the distributed
 // coordinator's lease/complete round trip (guarding the sweepd
-// protocol hot path), plus the hot-path micro-benchmarks.
-const defaultKeys = "BenchmarkTable2,BenchmarkFigure5,BenchmarkFigure7,BenchmarkDatasetColdStart,BenchmarkDatasetColdStartMmap,BenchmarkDatasetFetch,BenchmarkDatasetFetchP2P,BenchmarkResultStoreLookup,BenchmarkLeaseDispatch,BenchmarkProtocolMulticastProcess,BenchmarkPredictorPredict/Group,BenchmarkPredictorTrain"
+// protocol hot path), the external-trace import (guarding the
+// parse+oracle-replay pipeline behind tracegen -import), plus the
+// hot-path micro-benchmarks.
+const defaultKeys = "BenchmarkTable2,BenchmarkFigure5,BenchmarkFigure7,BenchmarkDatasetColdStart,BenchmarkDatasetColdStartMmap,BenchmarkDatasetFetch,BenchmarkDatasetFetchP2P,BenchmarkResultStoreLookup,BenchmarkLeaseDispatch,BenchmarkIngestCSV,BenchmarkProtocolMulticastProcess,BenchmarkPredictorPredict/Group,BenchmarkPredictorTrain"
 
 // compare reports per-key deltas and whether any exceeds the thresholds.
 func compare(baseline, latest map[string]row, keys []string, timePct, bytesPct float64) (lines []string, failed bool) {

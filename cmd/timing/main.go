@@ -8,6 +8,7 @@
 //	       [-protocols snooping,multicast+group] [-cpu simple|detailed]
 //	       [-fig7] [-fig8] [-sweep] [-runs N] [-json]
 //	       [-shard i/n] [-dataset-dir path] [-result-dir path]
+//	       [-dataset file.dset ...]
 //
 // Every simulation rides the SimSpec/TimingRunner sweep: the
 // per-protocol cells of each figure run concurrently over the worker
@@ -41,6 +42,11 @@
 // JSONL output stays byte-identical to a cold run. A summary line on
 // stderr reports how many cells were served vs computed.
 //
+// -dataset (repeatable) adds a pre-built dataset file — typically
+// tracegen -import output — to the selected figure's sweep as an extra
+// workload; it requires -dataset-dir, where the file is installed under
+// its content address for every cell, shard and worker to resolve.
+//
 // With no selection flags, both figures are printed.
 package main
 
@@ -56,6 +62,12 @@ import (
 	"destset"
 	"destset/internal/experiments"
 )
+
+// repeatedFlag collects every occurrence of a repeatable string flag.
+type repeatedFlag []string
+
+func (f *repeatedFlag) String() string     { return strings.Join(*f, ",") }
+func (f *repeatedFlag) Set(s string) error { *f = append(*f, s); return nil }
 
 func main() {
 	var (
@@ -75,6 +87,8 @@ func main() {
 		dataDir   = flag.String("dataset-dir", "", "persistent on-disk dataset cache shared across processes")
 		resultDir = flag.String("result-dir", "", "persistent on-disk result cache: completed cells are served from it, only misses compute")
 	)
+	var extraDatasets repeatedFlag
+	flag.Var(&extraDatasets, "dataset", "pre-built dataset file (e.g. tracegen -import output) simulated as an extra workload; repeatable, requires -dataset-dir")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -120,6 +134,13 @@ func main() {
 		if err := destset.SetResultDir(*resultDir); err != nil {
 			fail(err)
 		}
+	}
+	if len(extraDatasets) > 0 {
+		extra, err := experiments.LoadExtraDatasets(extraDatasets, *dataDir)
+		if err != nil {
+			fail(err)
+		}
+		opt.ExtraWorkloads = extra
 	}
 	// reportResults summarizes the result store's work split on stderr —
 	// "0 computed" is the warm-rerun signature CI pins.

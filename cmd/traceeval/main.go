@@ -7,6 +7,7 @@
 //	traceeval [-warm N] [-misses N] [-seed S] [-workloads a,b] [-parallel N]
 //	          [-fig5] [-fig6a] [-fig6b] [-fig6c] [-json]
 //	          [-shard i/n] [-dataset-dir path] [-result-dir path]
+//	          [-dataset file.dset ...]
 //
 // Every figure fans its engine × workload sweep over a worker pool (the
 // public destset.Runner); -parallel caps the pool.
@@ -30,6 +31,12 @@
 // JSONL output stays byte-identical to a cold run. A summary line on
 // stderr reports how many cells were served vs computed.
 //
+// -dataset (repeatable) adds a pre-built dataset file — typically
+// tracegen -import output — to the Figure 5 sweep as an extra workload.
+// It requires -dataset-dir: the file is installed there under its
+// content address, which is how every sweep cell (and every shard or
+// distributed worker sharing the directory) resolves it.
+//
 // With no selection flags, everything is printed.
 package main
 
@@ -44,6 +51,12 @@ import (
 	"destset"
 	"destset/internal/experiments"
 )
+
+// repeatedFlag collects every occurrence of a repeatable string flag.
+type repeatedFlag []string
+
+func (f *repeatedFlag) String() string     { return strings.Join(*f, ",") }
+func (f *repeatedFlag) Set(s string) error { *f = append(*f, s); return nil }
 
 func main() {
 	var (
@@ -64,6 +77,8 @@ func main() {
 		dataDir   = flag.String("dataset-dir", "", "persistent on-disk dataset cache shared across processes")
 		resultDir = flag.String("result-dir", "", "persistent on-disk result cache: completed cells are served from it, only misses compute")
 	)
+	var extraDatasets repeatedFlag
+	flag.Var(&extraDatasets, "dataset", "pre-built dataset file (e.g. tracegen -import output) swept as an extra workload; repeatable, requires -dataset-dir")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -103,6 +118,13 @@ func main() {
 		if err := destset.SetResultDir(*resultDir); err != nil {
 			fail(err)
 		}
+	}
+	if len(extraDatasets) > 0 {
+		extra, err := experiments.LoadExtraDatasets(extraDatasets, *dataDir)
+		if err != nil {
+			fail(err)
+		}
+		opt.ExtraWorkloads = extra
 	}
 	// reportResults summarizes the result store's work split on stderr —
 	// "0 computed" is the warm-rerun signature CI pins.

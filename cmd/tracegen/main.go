@@ -1,10 +1,13 @@
 // Command tracegen generates a synthetic coherence-request trace for one
-// of the paper's workloads, or summarizes an existing trace file.
+// of the paper's workloads, imports or re-exports external text traces,
+// or summarizes an existing trace file.
 //
 // Usage:
 //
 //	tracegen -workload oltp -misses 1000000 [-warm 100000] -o oltp.dset
 //	tracegen -legacy -workload oltp -misses 1000000 -o oltp.trace
+//	tracegen -import trace.csv -format csv -name mytrace -dataset-dir dsets/
+//	tracegen -export csv -i oltp.dset -o oltp.csv
 //	tracegen -summarize oltp.dset
 //
 // By default the output is the full columnar dataset format
@@ -16,9 +19,21 @@
 // the stream into warm and measured regions the way the sweeps consume
 // it.
 //
+// -import parses an external CSV or gem5/DRAMsim-style text trace
+// (internal/ingest), replays it through the coherence oracle for the
+// same annotations generated traces get, and writes the columnar
+// dataset. With -dataset-dir the file is installed under its content
+// address — the name every sweep, shard and distributed worker resolves
+// it by — and the matching WorkloadSpec JSON is printed to stdout,
+// ready to paste into a SweepDef or pass to traceeval/timing -dataset.
+//
+// -export writes a columnar dataset back out as CSV or text;
+// export → import → export is byte-identical.
+//
 // -legacy writes the original records-only binary trace format
 // (trace.Writer), which carries no annotations. -summarize auto-detects
-// either format.
+// either format and reports the workload's source kind (generated,
+// imported, phased, tenant-mix) alongside the raw counts.
 //
 // Ctrl-C cancels a run at the next safe point (a second Ctrl-C
 // terminates immediately), and file output is atomic (written to a temp
@@ -28,6 +43,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,21 +51,31 @@ import (
 	"os"
 	"os/signal"
 
+	"destset"
 	"destset/internal/atomicfile"
 	"destset/internal/dataset"
+	"destset/internal/ingest"
 	"destset/internal/trace"
 	"destset/internal/workload"
 )
 
 func main() {
 	var (
-		name      = flag.String("workload", "oltp", "workload preset name")
-		misses    = flag.Int("misses", 1_000_000, "number of measured misses to generate")
-		warmN     = flag.Int("warm", 0, "number of warm-region misses preceding the measured region (columnar format only)")
-		seed      = flag.Uint64("seed", 1, "generation seed")
-		out       = flag.String("o", "", "output file (default stdout)")
-		legacy    = flag.Bool("legacy", false, "write the legacy records-only trace format instead of the columnar dataset")
-		summarize = flag.String("summarize", "", "summarize an existing trace/dataset file instead")
+		name       = flag.String("workload", "oltp", "workload preset name")
+		misses     = flag.Int("misses", 1_000_000, "number of measured misses to generate")
+		warmN      = flag.Int("warm", 0, "number of warm-region misses preceding the measured region (columnar format only; with -import, the number of leading records treated as warm)")
+		seed       = flag.Uint64("seed", 1, "generation seed")
+		out        = flag.String("o", "", "output file (default stdout)")
+		legacy     = flag.Bool("legacy", false, "write the legacy records-only trace format instead of the columnar dataset")
+		summarize  = flag.String("summarize", "", "summarize an existing trace/dataset file instead")
+		importPath = flag.String("import", "", "import an external text trace file instead of generating")
+		format     = flag.String("format", "csv", "external trace format for -import/-export: csv or text")
+		impName    = flag.String("name", "imported", "workload name for the imported trace")
+		nodesF     = flag.Int("nodes", 0, "system size for -import (0 derives max cpu + 1 from the trace)")
+		gapF       = flag.Uint("gap", 0, "instruction gap assigned to imported lines that carry none (default 200)")
+		datasetDir = flag.String("dataset-dir", "", "install the imported dataset under its content address in this directory and print its WorkloadSpec JSON")
+		exportF    = flag.String("export", "", "re-export a columnar dataset (-i) as csv or text")
+		in         = flag.String("i", "", "input dataset file for -export")
 	)
 	flag.Parse()
 
@@ -70,16 +96,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *summarize != "" {
-		if err := summary(*summarize); err != nil {
-			fail(err)
-		}
-		return
-	}
 	var err error
-	if *legacy {
+	switch {
+	case *summarize != "":
+		err = summary(*summarize)
+	case *exportF != "":
+		err = exportDataset(ctx, *in, *exportF, *out)
+	case *importPath != "":
+		opt := ingest.Options{Name: *impName, Nodes: *nodesF, Warm: *warmN, DefaultGap: uint32(*gapF)}
+		err = importTrace(ctx, *importPath, *format, opt, *out, *datasetDir)
+	case *legacy:
 		err = generateLegacy(ctx, *name, *seed, *misses, *out)
-	} else {
+	default:
 		err = generate(ctx, *name, *seed, *warmN, *misses, *out)
 	}
 	if err != nil {
@@ -123,6 +151,96 @@ func generate(ctx context.Context, name string, seed uint64, warm, misses int, o
 	return nil
 }
 
+// importTrace parses an external trace through internal/ingest and
+// writes the annotated columnar dataset: to -o (or stdout), or into a
+// dataset directory under its content address, printing the matching
+// WorkloadSpec JSON for sweeps to consume.
+func importTrace(ctx context.Context, path, format string, opt ingest.Options, out, dir string) error {
+	f, err := ingest.ParseFormat(format)
+	if err != nil {
+		return err
+	}
+	ds, err := ingest.ImportFile(path, f, opt)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p := ds.Params()
+	if dir != "" {
+		key := dataset.KeyOf(p, ds.Warm(), ds.Measure())
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		dest := key.Path(dir)
+		err = atomicfile.Write(ctx, dest, func(w io.Writer) error {
+			_, err := ds.WriteTo(w)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: imported %d records of %s (%s) into %s\n",
+			ds.Len(), p.Name, p.Import.Format, dest)
+		spec := destset.WorkloadSpec{
+			Name:    p.Name,
+			Params:  &p,
+			Warm:    explicitScale(ds.Warm()),
+			Measure: explicitScale(ds.Measure()),
+		}
+		enc, err := json.MarshalIndent(spec, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", enc)
+		return nil
+	}
+	err = withOutput(ctx, out, func(w io.Writer) error {
+		_, err := ds.WriteTo(w)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: imported %d warm + %d measured records of %s (%s format, %d block stats)\n",
+		ds.Warm(), ds.Measure(), p.Name, p.Import.Format, len(ds.BlockStats()))
+	return nil
+}
+
+// explicitScale converts a dataset region size to WorkloadSpec's scale
+// convention, where 0 means "inherit the runner default" and negative
+// means "explicitly none".
+func explicitScale(n int) int {
+	if n == 0 {
+		return -1
+	}
+	return n
+}
+
+// exportDataset re-emits a columnar dataset as an external text trace.
+func exportDataset(ctx context.Context, in, format, out string) error {
+	if in == "" {
+		return fmt.Errorf("-export needs an input dataset (-i file.dset)")
+	}
+	f, err := ingest.ParseFormat(format)
+	if err != nil {
+		return err
+	}
+	ds, err := dataset.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	err = withOutput(ctx, out, func(w io.Writer) error {
+		return ingest.Export(w, ds, f)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: exported %d records as %s\n", ds.Len(), f)
+	return nil
+}
+
 // ctxCheckStride bounds how many records the legacy path writes between
 // cancellation checks.
 const ctxCheckStride = 4096
@@ -133,7 +251,7 @@ func generateLegacy(ctx context.Context, name string, seed uint64, misses int, o
 	if err != nil {
 		return err
 	}
-	g, err := workload.New(params)
+	g, err := workload.Open(params)
 	if err != nil {
 		return err
 	}
@@ -167,13 +285,17 @@ func summary(path string) error {
 	if err != nil {
 		return err
 	}
+	// Sniff with whatever prefix the file has: a valid legacy file can
+	// be as short as its 6-byte header, so an 8-byte ReadFull would
+	// wrongly reject it. Truncation diagnostics belong to the format
+	// readers below, which validate properly.
 	var magic [8]byte
-	if _, err := io.ReadFull(f, magic[:]); err != nil {
-		f.Close()
-		return err
-	}
+	n, err := io.ReadAtLeast(f, magic[:], 1)
 	f.Close()
-	if dataset.Sniff(magic[:]) {
+	if err != nil {
+		return fmt.Errorf("%s: empty or unreadable: %w", path, err)
+	}
+	if dataset.Sniff(magic[:n]) {
 		return summarizeDataset(path)
 	}
 	return summarizeLegacy(path)
@@ -195,10 +317,39 @@ func (t *tally) add(rec trace.Record) {
 }
 
 func (t *tally) print(nodes int) {
+	if t.n == 0 {
+		fmt.Printf("trace: %d nodes, 0 misses\n", nodes)
+		return
+	}
 	fmt.Printf("trace: %d nodes, %d misses, %.1f%% reads, %.2f misses/1k instructions\n",
 		nodes, t.n, 100*float64(t.reads)/float64(t.n), 1000*float64(t.n)/float64(t.instr))
 	for i, c := range t.perNode {
 		fmt.Printf("  node %2d: %d misses\n", i, c)
+	}
+}
+
+// printSource reports where the dataset's records came from: the
+// workload's source kind and, for composed kinds, the composition
+// structure.
+func printSource(p workload.Params) {
+	switch p.Kind() {
+	case workload.KindImported:
+		fmt.Printf("source: imported %s trace %q, %d records, sha256 %s…\n",
+			p.Import.Format, p.Name, p.Import.Records, p.Import.SHA256[:16])
+	case workload.KindPhased:
+		fmt.Printf("source: phased workload %q, %d phases per cycle:\n", p.Name, len(p.Phases))
+		for i, ph := range p.Phases {
+			fmt.Printf("  phase %d: %q, %d misses\n", i, ph.Params.Name, ph.Misses)
+		}
+	case workload.KindTenantMix:
+		fmt.Printf("source: tenant-mix workload %q, %d interleaved tenants of %q\n",
+			p.Name, len(p.Tenants), p.Tenants[0].Name)
+	default:
+		fmt.Printf("source: generated workload %q, seed %d\n", p.Name, p.Seed)
+	}
+	if p.Regulate.Enabled() {
+		fmt.Printf("regulation: adaptive bandwidth target %.0f bytes/1k instructions (mu %g, max throttle %gx)\n",
+			p.Regulate.TargetBytesPer1K, p.Regulate.Mu, p.Regulate.MaxThrottle)
 	}
 }
 
@@ -216,6 +367,7 @@ func summarizeDataset(path string) error {
 			annotated++
 		}
 	}
+	printSource(ds.Params())
 	t.print(ds.Nodes())
 	fmt.Printf("dataset: %d warm + %d measured, %.1f%% of misses had sharers, %d touched-block stats\n",
 		ds.Warm(), ds.Measure(), 100*float64(annotated)/float64(t.n), len(ds.BlockStats()))

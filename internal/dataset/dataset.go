@@ -120,7 +120,7 @@ func Generate(p workload.Params, warm, measure int) (*Dataset, error) {
 	if warm < 0 || measure < 0 {
 		return nil, fmt.Errorf("dataset: negative scale warm=%d measure=%d", warm, measure)
 	}
-	g, err := workload.New(p)
+	g, err := workload.Open(p)
 	if err != nil {
 		return nil, err
 	}
@@ -138,10 +138,55 @@ func Generate(p workload.Params, warm, measure int) (*Dataset, error) {
 		d.c.sharers[i] = mi.Sharers
 		d.c.reqState[i] = mi.RequesterState
 	}
-	d.rescaleGaps(0, warm)
-	d.rescaleGaps(warm, n)
+	// A bandwidth-regulated workload's gaps ARE the regulator's output —
+	// rescaling them to the nominal rate would erase the throttling the
+	// workload exists to model.
+	if !p.Regulate.Enabled() {
+		d.rescaleGaps(0, warm)
+		d.rescaleGaps(warm, n)
+	}
 	d.blockStats = snapshotBlockStats(g.System())
 	d.nstats = len(d.blockStats)
+	return d, nil
+}
+
+// FromRecords builds a dataset from an externally parsed, annotated
+// miss stream — the trace-ingestion path (internal/ingest). Unlike
+// Generate, the instruction gaps are taken exactly as given: imported
+// gaps are data, not a synthetic target to rescale toward. The params
+// must describe an imported workload so the dataset's identity can never
+// collide with a generated one's.
+func FromRecords(p workload.Params, recs []trace.Record, infos []coherence.MissInfo, stats []coherence.BlockStat, warm int) (*Dataset, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Kind() != workload.KindImported {
+		return nil, fmt.Errorf("dataset: FromRecords needs imported workload params, got kind %q", p.Kind())
+	}
+	if len(recs) != len(infos) {
+		return nil, fmt.Errorf("dataset: %d records with %d annotations", len(recs), len(infos))
+	}
+	if warm < 0 || warm >= len(recs) {
+		return nil, fmt.Errorf("dataset: warm region of %d records leaves no measured region (have %d)", warm, len(recs))
+	}
+	n := len(recs)
+	d := &Dataset{params: p, warm: warm, n: n}
+	d.c.alloc(n)
+	for i, rec := range recs {
+		if int(rec.Requester) >= p.Nodes {
+			return nil, fmt.Errorf("dataset: record %d requester %d outside %d nodes", i, rec.Requester, p.Nodes)
+		}
+		d.c.addr[i] = rec.Addr
+		d.c.pc[i] = rec.PC
+		d.c.gap[i] = rec.Gap
+		d.c.req[i] = rec.Requester
+		d.c.kind[i] = rec.Kind
+		d.c.owner[i] = infos[i].Owner
+		d.c.sharers[i] = infos[i].Sharers
+		d.c.reqState[i] = infos[i].RequesterState
+	}
+	d.blockStats = stats
+	d.nstats = len(stats)
 	return d, nil
 }
 

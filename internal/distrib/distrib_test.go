@@ -12,7 +12,10 @@ import (
 	"time"
 
 	"destset"
+	"destset/internal/dataset"
 	"destset/internal/distrib"
+	"destset/internal/ingest"
+	"destset/internal/workload"
 )
 
 // timingDef is a small execution-driven sweep: 2 sims × 1 workload × 2
@@ -690,5 +693,131 @@ func TestCoordinatorLeasesOnlyStoreMisses(t *testing.T) {
 	}
 	if !bytes.Equal(got.Bytes(), want) {
 		t.Error("partial-warm merged output differs from the local run")
+	}
+}
+
+// ingestDef builds a trace-driven def over an imported CSV trace plus
+// the three composed workload presets, installing the imported dataset
+// file under the active dataset directory — the workload mix every
+// worker must resolve identically.
+func ingestDef(t *testing.T) destset.SweepDef {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("addr,cpu,op,pc,gap\n")
+	state := uint64(0x2545f4914f6cdd1d)
+	for i := 0; i < 800; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		cpu := state % 4
+		addr := 0x20000 + (state>>8%96)*64
+		op := "R"
+		if state&0x1000 != 0 {
+			op = "W"
+		}
+		fmt.Fprintf(&sb, "0x%x,%d,%s,0x%x,%d\n", addr, cpu, op, 0x5000+4*(state>>24%256), 120+state>>40%200)
+	}
+	ds, err := ingest.Import(strings.NewReader(sb.String()), ingest.FormatCSV,
+		ingest.Options{Name: "distrib-import", Warm: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := destset.DatasetDir()
+	if dir == "" {
+		t.Fatal("ingestDef needs an active dataset directory")
+	}
+	p := ds.Params()
+	key := dataset.KeyOf(p, ds.Warm(), ds.Measure())
+	if err := dataset.WriteFile(key.Path(dir), ds); err != nil {
+		t.Fatal(err)
+	}
+	specs := []destset.WorkloadSpec{{
+		Name: p.Name, Params: &p, Warm: ds.Warm(), Measure: ds.Measure(),
+	}}
+	for _, name := range []string{"phased", "tenant-mix", "regulated"} {
+		cp, err := workload.Preset(name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, destset.WorkloadSpec{Name: name, Params: &cp, Warm: 400, Measure: 400})
+	}
+	return destset.NewTraceSweepDef(
+		[]destset.EngineSpec{
+			{Protocol: destset.ProtocolSnooping},
+			destset.SpecForPolicy(destset.OwnerGroup),
+		},
+		specs,
+		destset.WithSeeds(1, 2),
+	)
+}
+
+// TestDistributedIngestedSweepByteIdentical is the tentpole's
+// distributed acceptance check: a sweep whose workloads are an imported
+// external trace and the three composed kinds, split over two workers
+// via the coordinator, merges byte-identically to the in-process run —
+// and the imported dataset is never regenerated, only loaded from the
+// shared dataset directory.
+func TestDistributedIngestedSweepByteIdentical(t *testing.T) {
+	defer func() {
+		destset.SetDatasetDir("")
+		destset.PurgeDatasets()
+	}()
+	if err := destset.SetDatasetDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	destset.PurgeDatasets()
+
+	def := ingestDef(t)
+	before := destset.DatasetCacheStats()
+	want := localJSONL(t, def)
+	mid := destset.DatasetCacheStats()
+	// 3 composed workloads × 2 seeds generate; the imported trace's two
+	// seed-cells both load the one installed file.
+	if gens := mid.Generations - before.Generations; gens != 6 {
+		t.Fatalf("local run generated %d datasets, want 6 (imported must come from disk)", gens)
+	}
+
+	coord, client := serve(t, distrib.Config{
+		Def:      def,
+		LeaseTTL: 5 * time.Second,
+		Logf:     t.Logf,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	destset.PurgeDatasets() // workers start cold: memory tier empty, disk tier warm
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = distrib.RunWorker(ctx, distrib.WorkerConfig{
+				URL:          "http://coordinator",
+				Client:       client,
+				Name:         fmt.Sprintf("iw%d", i),
+				Parallelism:  2,
+				PollInterval: 20 * time.Millisecond,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	after := destset.DatasetCacheStats()
+	if gens := after.Generations - mid.Generations; gens != 0 {
+		t.Errorf("cold workers generated %d datasets, want 0 (disk tier should serve them)", gens)
+	}
+	var got bytes.Buffer
+	if err := coord.WriteMerged(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Error("distributed ingested-workload output differs from in-process run")
 	}
 }

@@ -45,8 +45,14 @@ type Options struct {
 	TimedWarmMisses int
 	// TimedMisses is the number of misses in the timed region.
 	TimedMisses int
-	// Workloads restricts the benchmark set (default: all six).
+	// Workloads restricts the benchmark set (default: the paper's six).
 	Workloads []string
+	// ExtraWorkloads appends value-described workload specs — imported
+	// trace datasets or composed parameter sets — to the sweep paths
+	// (TradeoffSweep/TimingSweep, their defs and plans). Each spec is
+	// used verbatim: its Warm/Measure must match the dataset it names.
+	// Figure-panel assembly (Figure2..Figure8 and Table 2) ignores them.
+	ExtraWorkloads []destset.WorkloadSpec
 	// Protocols restricts the execution-driven protocol configurations
 	// (§5), matched against SimSpec display labels: "snooping",
 	// "directory", "multicast+group", or policy shorthands like "owner".
@@ -93,7 +99,7 @@ func QuickOptions() Options {
 func (o Options) workloads() ([]workload.Params, error) {
 	names := o.Workloads
 	if len(names) == 0 {
-		names = workload.Names()
+		names = workload.PaperNames()
 	}
 	out := make([]workload.Params, 0, len(names))
 	for _, n := range names {
@@ -147,6 +153,18 @@ func (o Options) datasets() ([]*Dataset, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// extraLabel names an extra workload spec for sweep panels — the same
+// derivation destset uses for result labels.
+func extraLabel(w destset.WorkloadSpec) string {
+	if w.Name != "" {
+		return w.Name
+	}
+	if w.Params != nil && w.Params.Name != "" {
+		return w.Params.Name
+	}
+	return "workload"
 }
 
 // explicitScale marks a zero miss count as "explicitly none" for

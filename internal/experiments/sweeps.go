@@ -34,6 +34,7 @@ func (o Options) tradeoffRunner(shard, shards int) (*destset.Runner, error) {
 			Measure: explicitScale(o.Misses),
 		}
 	}
+	workloads = append(workloads, o.ExtraWorkloads...)
 	specs := append(baselineSpecs(), standoutSpecs()...)
 	opts := []destset.RunnerOption{
 		destset.WithSeeds(o.Seed),
@@ -68,6 +69,7 @@ func TradeoffSweepDef(opt Options) (destset.SweepDef, error) {
 			Measure: explicitScale(opt.Misses),
 		}
 	}
+	workloads = append(workloads, opt.ExtraWorkloads...)
 	specs := append(baselineSpecs(), standoutSpecs()...)
 	return destset.NewTraceSweepDef(specs, workloads, destset.WithSeeds(opt.Seed)), nil
 }
@@ -92,6 +94,7 @@ func TimingSweepDef(opt Options, cpu destset.CPUModel) (destset.SweepDef, error)
 	for i, n := range names {
 		workloads[i] = opt.timingWorkloadSpec(n)
 	}
+	workloads = append(workloads, opt.ExtraWorkloads...)
 	return destset.NewTimingSweepDef(specs, workloads, destset.WithSeeds(opt.Seed)), nil
 }
 

@@ -158,6 +158,16 @@ func (o Options) timingRunner(cpu destset.CPUModel, shard, shards int) (*destset
 	for i, n := range names {
 		workloads[i] = o.timingWorkloadSpec(n)
 	}
+	// Extras append to both lists in step, so runTimingAll's
+	// cells-per-workload arithmetic and per-panel normalization hold.
+	// (names may alias o.Workloads — copy before growing it.)
+	if len(o.ExtraWorkloads) > 0 {
+		names = append([]string(nil), names...)
+		for _, w := range o.ExtraWorkloads {
+			workloads = append(workloads, w)
+			names = append(names, extraLabel(w))
+		}
+	}
 	opts := o.timingRunnerOptions()
 	if shards > 1 {
 		opts = append(opts, destset.WithShard(shard, shards))

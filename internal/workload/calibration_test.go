@@ -30,6 +30,21 @@ type calSummary struct {
 	c2cByPC      *stats.Concentration
 }
 
+// paperAll returns the paper's six calibrated benchmarks at one seed —
+// composed presets (phased, tenant-mix, regulated) have no Table 2 row
+// and are excluded.
+func paperAll(seed uint64) []Params {
+	out := make([]Params, 0, len(PaperNames()))
+	for _, n := range PaperNames() {
+		p, err := Preset(n, seed)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
 func calibrate(t *testing.T, p Params) calSummary {
 	t.Helper()
 	g, err := New(p)
@@ -76,7 +91,7 @@ func TestCalibrationDirectoryIndirections(t *testing.T) {
 	if testing.Short() {
 		t.Skip("calibration runs 300k misses per workload")
 	}
-	for _, p := range All(11) {
+	for _, p := range paperAll(11) {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			s := calibrate(t, p)
@@ -94,7 +109,7 @@ func TestCalibrationInstantaneousSharing(t *testing.T) {
 	if testing.Short() {
 		t.Skip("calibration runs 300k misses per workload")
 	}
-	for _, p := range All(12) {
+	for _, p := range paperAll(12) {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			s := calibrate(t, p)
@@ -117,7 +132,7 @@ func TestCalibrationDegreeOfSharing(t *testing.T) {
 	if testing.Short() {
 		t.Skip("calibration runs 300k misses per workload")
 	}
-	for _, p := range All(13) {
+	for _, p := range paperAll(13) {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			s := calibrate(t, p)
@@ -152,7 +167,7 @@ func TestCalibrationSharingLocality(t *testing.T) {
 	if testing.Short() {
 		t.Skip("calibration runs 300k misses per workload")
 	}
-	for _, p := range All(14) {
+	for _, p := range paperAll(14) {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			s := calibrate(t, p)

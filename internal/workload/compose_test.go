@@ -1,0 +1,235 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"destset/internal/trace"
+)
+
+func miniBase(name string) Params {
+	p := composeBase(name, Mix{Migratory: 0.5, ProducerConsumer: 0.2, WidelyShared: 0.1, Streaming: 0.2})
+	p.SharedUnits = 64
+	p.StreamBlocksPerNode = 512
+	p.StaticPCs = 256
+	return p
+}
+
+func drain(t *testing.T, p Params, n int) ([]trace.Record, []uint64) {
+	t.Helper()
+	src, err := Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]trace.Record, n)
+	var totalGapPerNode = make([]uint64, p.Nodes)
+	for i := range recs {
+		rec, _ := src.Next()
+		recs[i] = rec
+		totalGapPerNode[rec.Requester] += uint64(rec.Gap)
+	}
+	return recs, totalGapPerNode
+}
+
+func TestOpenDeterministic(t *testing.T) {
+	for _, name := range []string{"phased", "tenant-mix", "regulated"} {
+		p, err := Preset(name, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := drain(t, p, 5000)
+		b, _ := drain(t, p, 5000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: record %d differs across identical opens: %+v vs %+v", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestOpenSeedsDecorrelate(t *testing.T) {
+	p1, _ := Preset("phased", 1)
+	p2, _ := Preset("phased", 2)
+	a, _ := drain(t, p1, 1000)
+	b, _ := drain(t, p2, 1000)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > len(a)/2 {
+		t.Fatalf("seeds 1 and 2 share %d/%d records", same, len(a))
+	}
+}
+
+func TestPhasedBudgetsShiftPatterns(t *testing.T) {
+	mig := miniBase("mig")
+	mig.Mix = Mix{Migratory: 1}
+	str := miniBase("str")
+	str.Mix = Mix{Streaming: 1}
+	p, err := Phased("p", 8, Phase{Misses: 500, Params: mig}, Phase{Misses: 500, Params: str})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Seed = 3
+	recs, _ := drain(t, p, 2000)
+	// The streaming phase walks per-node private regions laid out after
+	// the shared units; the migratory phase touches only shared units.
+	// Count writes per half-cycle: a pure-migratory phase is write-heavy.
+	writes := func(lo, hi int) int {
+		w := 0
+		for _, r := range recs[lo:hi] {
+			if r.Kind == trace.GetExclusive {
+				w++
+			}
+		}
+		return w
+	}
+	if mw, sw := writes(0, 500), writes(500, 1000); mw <= sw {
+		t.Errorf("migratory phase writes %d, streaming phase writes %d: budgets not honored", mw, sw)
+	}
+}
+
+func TestTenantMixInterleavesDisjointAddresses(t *testing.T) {
+	base := miniBase("tenant")
+	p, err := TenantMix("mix", base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Seed = 5
+	stride := trace.Addr(base.SpanMacroblocks() * trace.BlocksPerMacroblock)
+	recs, _ := drain(t, p, 3000)
+	seen := make(map[int]int)
+	for i, r := range recs {
+		tenant := int(r.Addr / stride)
+		if tenant > 2 {
+			t.Fatalf("record %d addr %d beyond tenant 2's range", i, r.Addr)
+		}
+		// Strict round-robin: record i belongs to tenant i%3.
+		if tenant != i%3 {
+			t.Fatalf("record %d in tenant %d's range, want tenant %d", i, tenant, i%3)
+		}
+		seen[tenant]++
+	}
+	if len(seen) != 3 {
+		t.Fatalf("only %d tenants emitted misses", len(seen))
+	}
+}
+
+func TestRegulatedThrottlesGaps(t *testing.T) {
+	base := miniBase("reg")
+	reg, err := Regulated(base, Regulation{TargetBytesPer1K: 100, Mu: 0.2, MaxThrottle: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Seed, reg.Seed = 9, 9
+	const n = 20000
+	_, gapsBase := drain(t, base, n)
+	_, gapsReg := drain(t, reg, n)
+	var tb, tr uint64
+	for i := range gapsBase {
+		tb += gapsBase[i]
+		tr += gapsReg[i]
+	}
+	// A tight budget must stretch gaps (lower issue rate). The record
+	// contents other than gaps are identical.
+	if tr <= tb {
+		t.Errorf("regulated total gap %d not above base %d: regulator never throttled", tr, tb)
+	}
+	loose, err := Regulated(base, Regulation{TargetBytesPer1K: 1e12, Mu: 0.2, MaxThrottle: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose.Seed = 9
+	_, gapsLoose := drain(t, loose, n)
+	var tl uint64
+	for _, g := range gapsLoose {
+		tl += g
+	}
+	if tl != tb {
+		t.Errorf("an unreachable budget changed gaps: %d vs %d", tl, tb)
+	}
+}
+
+func TestComposeValidation(t *testing.T) {
+	base := miniBase("b")
+	cases := []struct {
+		name string
+		p    func() Params
+		want string
+	}{
+		{"import cannot open", func() Params {
+			return Params{Name: "imp", Nodes: 4, MissesPer1000Instr: 1,
+				Import: Import{Format: "csv", SHA256: strings.Repeat("ab", 32), Records: 10}}
+		}, "cannot be regenerated"},
+		{"nested phases", func() Params {
+			inner, _ := Phased("inner", 4, Phase{Misses: 1, Params: base})
+			p := Params{Name: "outer", Nodes: 4, MissesPer1000Instr: 1,
+				Phases: []Phase{{Misses: 1, Params: inner}}}
+			return p
+		}, "no nesting"},
+		{"import plus phases", func() Params {
+			return Params{Name: "both", Nodes: 4, MissesPer1000Instr: 1,
+				Import:  Import{Format: "csv", SHA256: strings.Repeat("ab", 32), Records: 10},
+				Phases:  []Phase{{Misses: 1, Params: base}},
+				Tenants: nil}
+		}, "at most one"},
+		{"regulated import", func() Params {
+			return Params{Name: "ri", Nodes: 4, MissesPer1000Instr: 1,
+				Import:   Import{Format: "csv", SHA256: strings.Repeat("ab", 32), Records: 10},
+				Regulate: Regulation{TargetBytesPer1K: 1, Mu: 0.1, MaxThrottle: 2}}
+		}, "cannot be bandwidth-regulated"},
+		{"bad mu", func() Params {
+			p := base
+			p.Regulate = Regulation{TargetBytesPer1K: 1, Mu: 2, MaxThrottle: 2}
+			return p
+		}, "outside (0, 1]"},
+		{"tenant node mismatch", func() Params {
+			sub := base
+			sub.Nodes = 8
+			return Params{Name: "mix", Nodes: 4, MissesPer1000Instr: 1, Tenants: []Params{sub, sub}}
+		}, "nodes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Open(tc.p())
+			if err == nil {
+				t.Fatal("Open accepted an invalid composition")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNewRefusesComposedKinds(t *testing.T) {
+	for _, name := range []string{"phased", "tenant-mix", "regulated"} {
+		p, err := Preset(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := New(p); err == nil || !strings.Contains(err.Error(), "workload.Open") {
+			t.Errorf("New(%s) = %v, want a use-Open error", name, err)
+		}
+	}
+}
+
+func TestAddrOffsetShiftsLayout(t *testing.T) {
+	p := miniBase("off")
+	p.Seed = 4
+	off := p
+	off.AddrOffsetMacroblocks = 1000
+	a, _ := drain(t, p, 500)
+	b, _ := drain(t, off, 500)
+	delta := trace.Addr(1000 * trace.BlocksPerMacroblock)
+	for i := range a {
+		if b[i].Addr != a[i].Addr+delta {
+			t.Fatalf("record %d: offset addr %d != base addr %d + %d", i, b[i].Addr, a[i].Addr, delta)
+		}
+		if b[i].Kind != a[i].Kind || b[i].Requester != a[i].Requester {
+			t.Fatalf("record %d changed beyond the address shift", i)
+		}
+	}
+}

@@ -139,13 +139,138 @@ type Params struct {
 	// L2 overrides the per-node cache geometry (zero value = paper's 4 MB
 	// 4-way L2).
 	L2 coherence.Config
+
+	// AddrOffsetMacroblocks shifts the whole address layout (units, then
+	// streaming regions) by a fixed macroblock count. TenantMix sets it
+	// per tenant so instances occupy disjoint address ranges; zero keeps
+	// the historical layout byte-identical.
+	AddrOffsetMacroblocks int
+
+	// Import, when enabled, marks these parameters as describing an
+	// externally ingested trace (see compose.go and internal/ingest).
+	// Imported workloads replay from their recorded dataset and never
+	// regenerate; the sweep cell seed does not apply to them.
+	Import Import
+
+	// Phases, when non-empty, make this a phased workload cycling
+	// through the sub-workloads with per-phase miss budgets.
+	Phases []Phase
+
+	// Tenants, when non-empty, make this a tenant mix: the sub-workload
+	// instances interleave round-robin on one shared protocol.
+	Tenants []Params
+
+	// Regulate, when enabled, throttles per-CPU issue rate from a
+	// trailing bandwidth estimate (orthogonal to the source kind; not
+	// applicable to imports).
+	Regulate Regulation
 }
 
-// Validate reports configuration errors early.
+// Validate reports configuration errors early, dispatching on the
+// workload's source kind.
 func (p Params) Validate() error {
-	switch {
-	case p.Nodes < 2 || p.Nodes > nodeset.MaxNodes:
+	if p.Nodes < 2 || p.Nodes > nodeset.MaxNodes {
 		return fmt.Errorf("workload %q: bad node count %d", p.Name, p.Nodes)
+	}
+	kinds := 0
+	if p.Import.Enabled() {
+		kinds++
+	}
+	if len(p.Phases) > 0 {
+		kinds++
+	}
+	if len(p.Tenants) > 0 {
+		kinds++
+	}
+	if kinds > 1 {
+		return fmt.Errorf("workload %q: at most one of Import, Phases and Tenants may be set", p.Name)
+	}
+	if p.Regulate.Enabled() {
+		if p.Import.Enabled() {
+			return fmt.Errorf("workload %q: an imported trace cannot be bandwidth-regulated (its gaps are data)", p.Name)
+		}
+		if err := p.Regulate.validate(p.Name); err != nil {
+			return err
+		}
+	}
+	switch {
+	case p.Import.Enabled():
+		return p.validateImported()
+	case len(p.Phases) > 0:
+		return p.validatePhased()
+	case len(p.Tenants) > 0:
+		return p.validateTenantMix()
+	}
+	return p.validateGenerated()
+}
+
+// validateImported checks the fields an ingested trace carries.
+func (p Params) validateImported() error {
+	im := p.Import
+	switch {
+	case im.Format != "csv" && im.Format != "text":
+		return fmt.Errorf("workload %q: unknown import format %q (want csv or text)", p.Name, im.Format)
+	case len(im.SHA256) != 64:
+		return fmt.Errorf("workload %q: import digest %q is not a sha256 hex string", p.Name, im.SHA256)
+	case im.Records <= 0:
+		return fmt.Errorf("workload %q: import needs a positive record count", p.Name)
+	case p.MissesPer1000Instr <= 0:
+		return fmt.Errorf("workload %q: misses per 1000 instructions must be positive", p.Name)
+	}
+	return nil
+}
+
+// validateSub checks one component of a composed workload: a plain
+// generated sub-workload on the parent's node count.
+func (p Params) validateSub(role string, i int, sub Params) error {
+	if sub.Import.Enabled() || len(sub.Phases) > 0 || len(sub.Tenants) > 0 || sub.Regulate.Enabled() {
+		return fmt.Errorf("workload %q: %s %d must be a plain generated workload (no nesting)", p.Name, role, i)
+	}
+	if sub.Nodes != 0 && sub.Nodes != p.Nodes {
+		return fmt.Errorf("workload %q: %s %d has %d nodes, parent has %d", p.Name, role, i, sub.Nodes, p.Nodes)
+	}
+	sub.Nodes = p.Nodes
+	if err := sub.validateGenerated(); err != nil {
+		return fmt.Errorf("workload %q: %s %d: %w", p.Name, role, i, err)
+	}
+	return nil
+}
+
+func (p Params) validatePhased() error {
+	if p.MissesPer1000Instr <= 0 {
+		return fmt.Errorf("workload %q: misses per 1000 instructions must be positive", p.Name)
+	}
+	for i, ph := range p.Phases {
+		if ph.Misses <= 0 {
+			return fmt.Errorf("workload %q: phase %d needs a positive miss budget", p.Name, i)
+		}
+		if err := p.validateSub("phase", i, ph.Params); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p Params) validateTenantMix() error {
+	if p.MissesPer1000Instr <= 0 {
+		return fmt.Errorf("workload %q: misses per 1000 instructions must be positive", p.Name)
+	}
+	if len(p.Tenants) < 2 {
+		return fmt.Errorf("workload %q: a tenant mix needs at least 2 tenants", p.Name)
+	}
+	for i, t := range p.Tenants {
+		if err := p.validateSub("tenant", i, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateGenerated checks the plain synthetic-generation fields.
+func (p Params) validateGenerated() error {
+	switch {
+	case p.AddrOffsetMacroblocks < 0:
+		return fmt.Errorf("workload %q: negative address offset", p.Name)
 	case p.SharedUnits <= 0:
 		return fmt.Errorf("workload %q: need at least one shared unit", p.Name)
 	case p.BlocksPerUnit <= 0 || p.MacroblocksPerUnit <= 0:
@@ -211,19 +336,44 @@ type access struct {
 }
 
 // New builds a generator and lays out the address space: shared units
-// first (macroblock-aligned), then per-node streaming regions.
+// first (macroblock-aligned), then per-node streaming regions. It only
+// accepts plain generated workloads; composed and regulated ones open
+// through Open, imported ones only replay from their dataset.
 func New(p Params) (*Generator, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	sysCfg := p.L2
-	if sysCfg.Nodes == 0 {
-		sysCfg = coherence.DefaultConfig()
-		sysCfg.Nodes = p.Nodes
+	if kind := p.Kind(); kind != KindGenerated {
+		return nil, fmt.Errorf("workload %q: %s workloads have no plain generator; use workload.Open", p.Name, kind)
+	}
+	if p.Regulate.Enabled() {
+		return nil, fmt.Errorf("workload %q: regulated workloads have no plain generator; use workload.Open", p.Name)
+	}
+	return newGenerator(p, nil)
+}
+
+// systemFor builds the workload's coherence oracle: the explicit L2
+// geometry when set, otherwise the paper's default at the workload's
+// node count.
+func systemFor(p Params) *coherence.System {
+	cfg := p.L2
+	if cfg.Nodes == 0 {
+		cfg = coherence.DefaultConfig()
+		cfg.Nodes = p.Nodes
+	}
+	return coherence.NewSystem(cfg)
+}
+
+// newGenerator builds the generator on the given oracle (nil builds a
+// private one) without re-validating — composition calls it with
+// component parameters it has already checked and a shared oracle.
+func newGenerator(p Params, sys *coherence.System) (*Generator, error) {
+	if sys == nil {
+		sys = systemFor(p)
 	}
 	g := &Generator{
 		p:      p,
-		sys:    coherence.NewSystem(sysCfg),
+		sys:    sys,
 		rng:    xrand.New(p.Seed, 0x05EED),
 		mixCat: xrand.NewCategorical(p.Mix.weights()),
 		pcZ:    xrand.NewZipf(p.StaticPCs, pcTheta(p)),
@@ -246,7 +396,7 @@ func New(p Params) (*Generator, error) {
 		}
 	}
 
-	nextMacroblock := trace.Addr(0)
+	nextMacroblock := trace.Addr(p.AddrOffsetMacroblocks)
 	for pat := 0; pat < 3; pat++ {
 		n := counts[pat]
 		if n == 0 {

@@ -270,7 +270,7 @@ func TestUnitBlocksStayInSpan(t *testing.T) {
 
 func TestPresetRegistry(t *testing.T) {
 	names := Names()
-	want := []string{"apache", "barnes-hut", "ocean", "oltp", "slashcode", "specjbb"}
+	want := []string{"apache", "barnes-hut", "ocean", "oltp", "phased", "regulated", "slashcode", "specjbb", "tenant-mix"}
 	if len(names) != len(want) {
 		t.Fatalf("Names() = %v", names)
 	}
@@ -279,13 +279,15 @@ func TestPresetRegistry(t *testing.T) {
 			t.Fatalf("Names() = %v, want %v", names, want)
 		}
 	}
-	if _, err := Preset("apache", 1); err != nil {
-		t.Errorf("Preset(apache): %v", err)
+	for _, n := range PaperNames() {
+		if _, err := Preset(n, 1); err != nil {
+			t.Errorf("Preset(%s): %v", n, err)
+		}
 	}
 	if _, err := Preset("nosuch", 1); err == nil {
 		t.Error("unknown preset should error")
 	}
-	if got := len(All(1)); got != 6 {
+	if got := len(All(1)); got != len(want) {
 		t.Errorf("All() returned %d workloads", got)
 	}
 }
@@ -295,8 +297,8 @@ func TestPresetsValidate(t *testing.T) {
 		if err := p.Validate(); err != nil {
 			t.Errorf("preset %s invalid: %v", p.Name, err)
 		}
-		if _, err := New(p); err != nil {
-			t.Errorf("preset %s: New failed: %v", p.Name, err)
+		if _, err := Open(p); err != nil {
+			t.Errorf("preset %s: Open failed: %v", p.Name, err)
 		}
 	}
 }

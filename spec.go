@@ -249,7 +249,12 @@ func (w WorkloadSpec) resolve(defaultWarm, defaultMeasure int) (sweep.Workload, 
 		}
 		params := func(seed uint64) (workload.Params, error) {
 			p := base
-			p.Seed = seed
+			// Imported traces are fixed data: their identity is the
+			// input's content hash, so the cell seed must not perturb the
+			// fingerprint (every seed replays the same dataset).
+			if !p.Import.Enabled() {
+				p.Seed = seed
+			}
 			return p, nil
 		}
 		sw.Open, sw.Prepare = sharedDatasetSource(params, warm, measure)

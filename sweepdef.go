@@ -133,6 +133,8 @@ func (d SweepDef) Validate() error {
 			if _, err := workload.Preset(w.Name, 0); err != nil {
 				return err
 			}
+		} else if err := w.Params.Validate(); err != nil {
+			return fmt.Errorf("destset: workload %q: %w", w.label(), err)
 		}
 	}
 	return nil
@@ -228,7 +230,11 @@ func (sd SweepDataset) params() (workload.Params, error) {
 		return workload.Params{}, fmt.Errorf("destset: workload %q uses a custom Open stream source and has no shared dataset", w.label())
 	case w.Params != nil:
 		p := *w.Params
-		p.Seed = sd.Seed
+		// An imported trace is seed-invariant: its identity is the input
+		// content hash and every seed replays the same records.
+		if !p.Import.Enabled() {
+			p.Seed = sd.Seed
+		}
 		return p, nil
 	case w.Name != "":
 		return workload.Preset(w.Name, sd.Seed)
@@ -438,8 +444,25 @@ func (w WorkloadSpec) MarshalJSON() ([]byte, error) {
 	})
 }
 
-// UnmarshalJSON is MarshalJSON's inverse.
+// UnmarshalJSON is MarshalJSON's inverse. A document that carries an
+// Open field is refused by name: a custom stream source cannot cross a
+// process boundary, and decoding the rest would silently rebuild a
+// different workload than the sender ran.
 func (w *WorkloadSpec) UnmarshalJSON(raw []byte) error {
+	var probe struct {
+		Name string          `json:"Name"`
+		Open json.RawMessage `json:"Open"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return err
+	}
+	if len(probe.Open) > 0 && string(probe.Open) != "null" {
+		name := probe.Name
+		if name == "" {
+			name = "workload"
+		}
+		return fmt.Errorf("destset: workload %q carries a custom Open stream source, which is not serializable", name)
+	}
 	var ws wireWorkloadSpec
 	if err := json.Unmarshal(raw, &ws); err != nil {
 		return err

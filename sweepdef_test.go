@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"destset"
+	"destset/internal/workload"
 )
 
 // TestSweepDefRoundTripPreservesPlan is the wire contract: a def
@@ -273,5 +274,150 @@ func TestWithCellsSubset(t *testing.T) {
 	twant := []destset.TimingResult{tfull[1], tfull[5]}
 	if !reflect.DeepEqual(tgot, twant) {
 		t.Error("timing subset run differs from the full run's cells")
+	}
+}
+
+// TestWorkloadSpecUnmarshalRefusesOpen pins the JSON decode guard: a
+// document that smuggles an Open field is rejected by workload name
+// instead of silently decoding into a different workload.
+func TestWorkloadSpecUnmarshalRefusesOpen(t *testing.T) {
+	var w destset.WorkloadSpec
+	raw := `{"Name":"replayed-oltp","Nodes":16,"Open":{"fn":"0xdeadbeef"}}`
+	err := json.Unmarshal([]byte(raw), &w)
+	if err == nil || !strings.Contains(err.Error(), "not serializable") {
+		t.Fatalf("unmarshal with Open = %v, want refusal", err)
+	}
+	if !strings.Contains(err.Error(), "replayed-oltp") {
+		t.Errorf("error %q does not name the offending workload", err)
+	}
+	// A null Open is what MarshalJSON could never emit but a hand-rolled
+	// document might; it carries no source and decodes fine.
+	if err := json.Unmarshal([]byte(`{"Name":"oltp","Open":null}`), &w); err != nil {
+		t.Fatalf("null Open should decode: %v", err)
+	}
+	if w.Name != "oltp" {
+		t.Errorf("decoded name %q", w.Name)
+	}
+}
+
+// TestSweepDefRefusesInvalidComposedParams pins Validate's new Params
+// check: malformed imported and composed parameter sets are rejected at
+// the def boundary, before any worker leases cells from them.
+func TestSweepDefRefusesInvalidComposedParams(t *testing.T) {
+	engines := []destset.EngineSpec{{Protocol: destset.ProtocolSnooping}}
+	cases := map[string]destset.WorkloadParams{
+		"imported bad hash": {
+			Name: "imp", Nodes: 4, MissesPer1000Instr: 1,
+			Import: workload.Import{Format: "csv", SHA256: "short", Records: 10},
+		},
+		"imported bad format": {
+			Name: "imp", Nodes: 4, MissesPer1000Instr: 1,
+			Import: workload.Import{Format: "parquet", SHA256: strings.Repeat("a", 64), Records: 10},
+		},
+		"regulated import": {
+			Name: "imp", Nodes: 4, MissesPer1000Instr: 1,
+			Import:   workload.Import{Format: "csv", SHA256: strings.Repeat("a", 64), Records: 10},
+			Regulate: workload.Regulation{TargetBytesPer1K: 100, Mu: 0.1, MaxThrottle: 2},
+		},
+		"empty tenant list": {
+			Name: "mix", Nodes: 4, MissesPer1000Instr: 1,
+			Tenants: []workload.Params{{Name: "only", Nodes: 4}},
+		},
+	}
+	for name, p := range cases {
+		t.Run(name, func(t *testing.T) {
+			p := p
+			def := destset.NewTraceSweepDef(engines, []destset.WorkloadSpec{{Params: &p}})
+			if err := def.Validate(); err == nil {
+				t.Error("Validate accepted invalid composed params")
+			}
+		})
+	}
+}
+
+// TestSweepDefComposedRoundTrip pins the wire form of the new composed
+// parameter kinds: a def carrying phased, tenant-mix, regulated and
+// imported Params survives JSON unchanged — same plan fingerprint, and
+// for the resolvable kinds the same dataset content keys.
+func TestSweepDefComposedRoundTrip(t *testing.T) {
+	phased, err := workload.Preset("phased", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := workload.Preset("tenant-mix", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := workload.Preset("regulated", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := workload.Params{
+		Name: "imp", Nodes: 4, MissesPer1000Instr: 2.5,
+		Import: workload.Import{Format: "csv", SHA256: strings.Repeat("ab", 32), Records: 1000},
+	}
+	def := destset.NewTraceSweepDef(
+		[]destset.EngineSpec{{Protocol: destset.ProtocolSnooping}},
+		[]destset.WorkloadSpec{
+			{Params: &phased, Warm: 100, Measure: 100},
+			{Params: &mix, Warm: 100, Measure: 100},
+			{Params: &reg, Warm: 100, Measure: 100},
+			{Params: &imp, Warm: 100, Measure: 100},
+		},
+		destset.WithSeeds(3),
+	)
+	wantPlan, err := def.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDatasets, err := def.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back destset.SweepDef
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	gotPlan, err := back.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPlan.Fingerprint() != wantPlan.Fingerprint() {
+		t.Errorf("round-tripped plan %s, original %s", gotPlan.Fingerprint(), wantPlan.Fingerprint())
+	}
+	gotDatasets, err := back.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantDatasets {
+		want, err := wantDatasets[i].ContentKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := gotDatasets[i].ContentKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("dataset %d content key %s, original %s", i, got, want)
+		}
+	}
+	// The imported dataset's key must not vary with the cell seed.
+	moved := wantDatasets[3]
+	moved.Seed = 99
+	k1, err := wantDatasets[3].ContentKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := moved.ContentKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("cell seed perturbed an imported dataset's content key")
 	}
 }

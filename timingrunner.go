@@ -104,7 +104,11 @@ func (w WorkloadSpec) resolveTiming(defaultWarm, defaultMeasure int) (timingWork
 		}
 		params = func(seed uint64) (WorkloadParams, error) {
 			p := base
-			p.Seed = seed
+			// Imported traces are seed-invariant: every seed replays the
+			// one content-addressed dataset (same guard as resolve).
+			if !p.Import.Enabled() {
+				p.Seed = seed
+			}
 			return p, nil
 		}
 	case w.Name != "":
